@@ -1,0 +1,890 @@
+(* The experiment harness: one section per experiment of DESIGN.md
+   (E1–E18 plus ablations). Shape experiments print the tables/series the
+   paper's figures and theorems assert; timing experiments use Bechamel.
+
+   Run all:        dune exec bench/main.exe
+   One section:    dune exec bench/main.exe -- --only E5
+   List sections:  dune exec bench/main.exe -- --list *)
+
+module Signature = Fmtk_logic.Signature
+module Formula = Fmtk_logic.Formula
+module Parser = Fmtk_logic.Parser
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+module Graph = Fmtk_structure.Graph
+module Gen = Fmtk_structure.Gen
+module Iso = Fmtk_structure.Iso
+module Eval = Fmtk_eval.Eval
+module Compile = Fmtk_db.Compile
+module Ef = Fmtk_games.Ef
+module Strategy = Fmtk_games.Strategy
+module Distinguish = Fmtk_games.Distinguish
+module Gaifman = Fmtk_locality.Gaifman
+module Gaifman_local = Fmtk_locality.Gaifman_local
+module Neighborhood = Fmtk_locality.Neighborhood
+module Hanf = Fmtk_locality.Hanf
+module Bndp = Fmtk_locality.Bndp
+module Bounded_degree = Fmtk_locality.Bounded_degree
+module Local_sentence = Fmtk_locality.Local_sentence
+module Estimator = Fmtk_zeroone.Estimator
+module Extension = Fmtk_zeroone.Extension
+module Paley = Fmtk_zeroone.Paley
+module Almost_sure = Fmtk_zeroone.Almost_sure
+module Fo_circuit = Fmtk_circuits.Fo_circuit
+module Qbf = Fmtk_qbf.Qbf
+module Reduction = Fmtk_qbf.Reduction
+module Engine = Fmtk_datalog.Engine
+module Programs = Fmtk_datalog.Programs
+module Queries = Fmtk.Queries
+module Reductions = Fmtk.Reductions
+module Method = Fmtk.Method
+
+let f = Parser.parse_exn
+let pf = Format.printf
+let rng () = Random.State.make [| 20090629 |]
+
+(* ---------- Bechamel helpers ---------- *)
+
+let run_bechamel tests =
+  let open Bechamel in
+  let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Bechamel.Analyze.OLS.estimates est with
+      | Some (v :: _) ->
+          if v > 1e6 then pf "  %-46s %10.3f ms/run@." name (v /. 1e6)
+          else pf "  %-46s %10.1f ns/run@." name v
+      | Some [] | None -> pf "  %-46s (no estimate)@." name)
+    (List.sort compare rows)
+
+let bench name fn = Bechamel.Test.make ~name (Bechamel.Staged.stage fn)
+
+(* ---------- E1: combined complexity O(n^k) ---------- *)
+
+let nested_forall k =
+  let xs = List.init k (fun i -> Printf.sprintf "x%d" i) in
+  Formula.forall_many xs
+    (Formula.conj (List.map (fun x -> Formula.Eq (Formula.v x, Formula.v x)) xs))
+
+let e1 () =
+  pf "Deterministic work counter (quantifier scans) = Σ n^i, i ≤ k:@.";
+  pf "  %6s %4s %16s@." "n" "k" "work";
+  List.iter
+    (fun (n, k) ->
+      let stats = Eval.new_stats () in
+      ignore (Eval.sat ~stats (Gen.set n) (nested_forall k));
+      pf "  %6d %4d %16d@." n k stats.Eval.quantifier_steps)
+    [ (16, 1); (16, 2); (16, 3); (16, 4); (8, 4); (32, 2); (64, 2) ];
+  pf "Shape: polynomial in n for fixed k; exponential in k for fixed n.@.";
+  pf "@.Wall-clock (Bechamel):@.";
+  let g n = Gen.random_graph ~rng:(rng ()) n 0.5 in
+  let phi_k k =
+    (* A qr-k sentence that cannot short-circuit: alternating blocks. *)
+    match k with
+    | 2 -> f "forall x. exists y. E(x,y) | E(y,x)"
+    | 3 -> f "forall x. exists y. forall z. x = y | E(x,z) | E(z,y) | z != z"
+    | _ -> nested_forall k
+  in
+  let tests =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun k ->
+            let graph = g n and phi = phi_k k in
+            bench (Printf.sprintf "eval n=%-3d k=%d" n k) (fun () ->
+                Eval.sat graph phi))
+          [ 2; 3 ])
+      [ 8; 16; 32 ]
+  in
+  run_bechamel (Bechamel.Test.make_grouped ~name:"E1" tests)
+
+(* ---------- E2: FO in AC0 ---------- *)
+
+let e2 () =
+  let phi = f "forall x. exists y. E(x,y) & !E(y,x)" in
+  pf "sentence: forall x. exists y. E(x,y) & !E(y,x)@.";
+  pf "  %6s %10s %7s %8s %8s@." "n" "size" "depth" "inputs" "agree";
+  List.iter
+    (fun n ->
+      let compiled = Fo_circuit.compile Signature.graph ~size:n phi in
+      let agree = ref true in
+      let r = rng () in
+      for _ = 1 to 20 do
+        let s = Gen.random_graph ~rng:r n 0.4 in
+        if Fo_circuit.run compiled s <> Eval.sat s phi then agree := false
+      done;
+      pf "  %6d %10d %7d %8d %8b@." n
+        (Fo_circuit.circuit_size compiled)
+        (Fo_circuit.circuit_depth compiled)
+        (Fo_circuit.input_count compiled)
+        !agree)
+    [ 2; 4; 8; 16; 32; 48 ];
+  pf "Shape: depth constant in n, size polynomial — the AC0 family of slide 23.@."
+
+(* ---------- E3: finite compactness fails ---------- *)
+
+let e3 () =
+  pf "λn = 'there are at least n elements' (slide 29):@.";
+  pf "  %4s %18s@." "n" "min model size";
+  List.iter
+    (fun n ->
+      (* Smallest m with set-of-size-m ⊨ λn. *)
+      let rec find m = if Eval.sat (Gen.set m) (Formula.at_least n) then m else find (m + 1) in
+      pf "  %4d %18d@." n (find 0))
+    [ 1; 2; 3; 5; 8 ];
+  let subset = [ 1; 2; 3; 5; 8 ] in
+  let phi = Formula.conj (List.map Formula.at_least subset) in
+  pf "finite subset {λ1,λ2,λ3,λ5,λ8} has the finite model of size %d: %b@." 8
+    (Eval.sat (Gen.set 8) phi);
+  pf
+    "but every size-m set falsifies λ(m+1), so {λn | n ∈ ℕ} has no finite \
+     model@.";
+  pf "⇒ finite compactness fails (checked at every size up to 8 — the@.";
+  pf "   refutation of λ(m+1) on an m-set costs ~m! evaluator steps):@.";
+  let all_fail =
+    List.for_all
+      (fun m -> not (Eval.sat (Gen.set m) (Formula.at_least (m + 1))))
+      (List.init 9 Fun.id)
+  in
+  pf "  each set of size m falsifies λ(m+1): %b@." all_fail
+
+(* ---------- E4: EVEN(∅) via games ---------- *)
+
+let e4 () =
+  pf "EVEN on bare sets: witnesses |A| = 2n, |B| = 2n+1 (slides 44-45):@.";
+  pf "  %4s %6s %6s %12s %14s@." "n" "|A|" "|B|" "method" "certified";
+  List.iter
+    (fun n ->
+      let a = Gen.set (2 * n) and b = Gen.set ((2 * n) + 1) in
+      let via, ok =
+        if n <= 4 then
+          ("solver", Method.game_rank ~rounds:n ~query:Queries.even a b = Ok ())
+        else if n <= 5 then
+          ( "strategy",
+            Method.game_rank_with_strategy ~rounds:n ~query:Queries.even
+              ~strategy:(Strategy.sets a b) a b
+            = Ok () )
+        else
+          ( "sampled",
+            Queries.even a
+            && (not (Queries.even b))
+            && Strategy.verify_sampled ~rng:(rng ()) ~lines:20_000 ~rounds:n a
+                 b (Strategy.sets a b)
+               = None )
+      in
+      pf "  %4d %6d %6d %12s %14b@." n (2 * n) ((2 * n) + 1) via ok)
+    [ 1; 2; 3; 4; 5; 6; 8 ];
+  pf "Shape: certified at every rank ⇒ EVEN is not FO-definable.@."
+
+(* ---------- E5: Theorem 3.1 ---------- *)
+
+let e5 () =
+  pf "L_m ≡n L_k — exact solver sweep (n ≤ 3), characterization:@.";
+  pf "m = k or min(m,k) ≥ 2^n - 1 (Theorem 3.1 states ≥ 2^n suffices)@.";
+  let mismatches = ref 0 in
+  for n = 0 to 3 do
+    let bound = min 9 ((1 lsl n) + 2) in
+    for m = 0 to bound do
+      for k = 0 to bound do
+        let solver =
+          Ef.duplicator_wins ~rounds:n (Gen.linear_order m) (Gen.linear_order k)
+        in
+        let closed = Strategy.linear_orders_equiv ~rounds:n m k in
+        if solver <> closed then incr mismatches
+      done
+    done
+  done;
+  pf "  solver vs closed form mismatches (n ≤ 3): %d@." !mismatches;
+  pf "  boundary rows at n = 3 (threshold 2^3 - 1 = 7):@.";
+  List.iter
+    (fun (m, k) ->
+      pf "    L%-2d ≡3 L%-2d : %b@." m k
+        (Ef.duplicator_wins ~rounds:3 (Gen.linear_order m) (Gen.linear_order k)))
+    [ (6, 7); (7, 8); (7, 9); (8, 9) ];
+  pf "  successor vs order (the paper's \"successor would do\" remark):@.";
+  pf "  minimal m with X_m ≡n X_(m+1), by exact solver:@.";
+  let minimal_m family n =
+    let rec find m =
+      if m > 16 then None
+      else if Ef.duplicator_wins ~rounds:n (family m) (family (m + 1)) then
+        Some m
+      else find (m + 1)
+    in
+    find 0
+  in
+  List.iter
+    (fun n ->
+      let s = minimal_m Gen.successor n and l = minimal_m Gen.linear_order n in
+      let show = function Some m -> string_of_int m | None -> ">16" in
+      pf "    n=%d: successor chains %s, linear orders %s@." n (show s) (show l))
+    [ 1; 2; 3 ];
+  pf "  strategy-verified large instances:@.";
+  List.iter
+    (fun (m, k, n, exhaustive) ->
+      let a = Gen.linear_order m and b = Gen.linear_order k in
+      let s = Strategy.linear_orders m k in
+      let ok, how =
+        if exhaustive then (Strategy.verify ~rounds:n a b s = None, "exhaustive")
+        else
+          ( Strategy.verify_sampled ~rng:(rng ()) ~lines:20_000 ~rounds:n a b s
+            = None,
+            "20k sampled lines" )
+      in
+      pf "    L%-3d ≡%d L%-3d (distance-doubling strategy, %s): %b@." m n k how
+        ok)
+    [ (16, 17, 4, true); (31, 32, 5, false); (40, 64, 5, false) ]
+
+(* ---------- E6/E7: the order->graph constructions ---------- *)
+
+let e6 () =
+  pf "Order → 2nd-successor graph (the slide-48 figure):@.";
+  pf "  %4s %12s %12s %10s@." "n" "components" "connected" "FO=direct";
+  List.iter
+    (fun n ->
+      let ord = Gen.linear_order n in
+      let g = Reductions.conn_construction ord in
+      pf "  %4d %12d %12b %10b@." n (Graph.component_count g)
+        (Graph.connected g)
+        (Structure.equal g (Reductions.conn_construction_direct ord)))
+    [ 3; 4; 5; 6; 7; 8; 12; 13; 20; 21; 40; 41 ];
+  pf "Shape: connected ⇔ odd; exactly 2 components when even.@."
+
+let e7 () =
+  pf "Order → 2nd-successor + back edge (acyclicity trick):@.";
+  pf "  %4s %10s %10s@." "n" "acyclic" "FO=direct";
+  List.iter
+    (fun n ->
+      let ord = Gen.linear_order n in
+      let g = Reductions.acycl_construction ord in
+      pf "  %4d %10b %10b@." n (Graph.acyclic g)
+        (Structure.equal g (Reductions.acycl_construction_direct ord)))
+    [ 3; 4; 5; 6; 9; 10; 15; 16 ];
+  pf "Shape: acyclic ⇔ even.@."
+
+(* ---------- E8: CONN via TC ---------- *)
+
+let e8 () =
+  pf "Connectivity decided through the TC oracle (slide 50):@.";
+  let cases =
+    [
+      ("cycle 9", Gen.cycle 9);
+      ("path 8", Gen.path 8);
+      ("2 cycles", Gen.union_of [ Gen.cycle 4; Gen.cycle 5 ]);
+      ("tree d=3", Gen.binary_tree 3);
+      ("empty 5", Structure.make Signature.graph ~size:5 []);
+    ]
+  in
+  pf "  %-10s %10s %12s %14s@." "graph" "direct" "via mat-TC" "via datalog-TC";
+  List.iter
+    (fun (name, g) ->
+      pf "  %-10s %10b %12b %14b@." name (Graph.connected g)
+        (Reductions.connectivity_via_tc ~tc:Graph.transitive_closure g)
+        (Reductions.connectivity_via_tc ~tc:Programs.tc_of g))
+    cases
+
+(* ---------- E9: BNDP ---------- *)
+
+let e9 () =
+  pf "BNDP (Definition 3.3): output degree counts.@.";
+  pf "TC on the n-chain (input degrees ⊆ {0,1}):@.";
+  pf "  %4s %16s@." "n" "|degs(TC(G))|";
+  List.iter
+    (fun n ->
+      pf "  %4d %16d@." n
+        (Bndp.output_degree_count Queries.transitive_closure (Gen.successor n)))
+    [ 4; 8; 16; 24; 32 ];
+  pf "Same-generation on the depth-d binary tree (degrees ⊆ {0,1,2}):@.";
+  pf "  %4s %16s@." "d" "|degs(SG(G))|";
+  List.iter
+    (fun d ->
+      pf "  %4d %16d@." d
+        (Bndp.output_degree_count Queries.same_generation (Gen.binary_tree d)))
+    [ 1; 2; 3; 4; 5 ];
+  pf "FO control ∃z(E(x,z) ∧ E(z,y)):@.";
+  pf "  %4s %16s@." "n" "|degs(Q(G))|";
+  List.iter
+    (fun n ->
+      pf "  %4d %16d@." n (Bndp.output_degree_count Queries.path2 (Gen.successor n)))
+    [ 4; 8; 16; 32 ];
+  pf "Shape: TC ≈ n degrees, SG = d+1 degrees (values 1,2,4,..,2^d), FO constant.@."
+
+(* ---------- E10: Gaifman locality ---------- *)
+
+let e10 () =
+  pf "TC on a long chain (the slide-58 argument):@.";
+  (match
+     Gaifman_local.violation ~arity:2 ~radius:1 Queries.transitive_closure
+       (Gen.path 12)
+   with
+  | Some (a, b) ->
+      let show l = String.concat "," (List.map string_of_int l) in
+      pf "  violating pair at radius 1: (%s) vs (%s)@." (show a) (show b)
+  | None -> pf "  UNEXPECTED: no violation@.");
+  List.iter
+    (fun r ->
+      let v =
+        Gaifman_local.violation ~arity:2 ~radius:r Queries.transitive_closure
+          (Gen.path (6 * (r + 1)))
+      in
+      pf "  radius %d on a %d-chain: violation %s@." r
+        (6 * (r + 1))
+        (match v with Some _ -> "found" | None -> "none"))
+    [ 1; 2 ];
+  pf "FO controls are Gaifman-local at their qr-derived radius:@.";
+  let family = [ Gen.path 10; Gen.cycle 9; Gen.binary_tree 3 ] in
+  List.iter
+    (fun (name, rank, q) ->
+      let radius = Gaifman_local.fo_radius ~rank in
+      pf "  %-22s (qr %d, radius %d): local = %b@." name rank radius
+        (Gaifman_local.holds_on ~arity:2 ~radius q family))
+    [
+      ("path2", 1, Queries.path2);
+      ("symmetric-pair", 0, Queries.symmetric_pair);
+    ]
+
+(* ---------- E11: Hanf locality ---------- *)
+
+let e11 () =
+  pf "2 cycles of m vs 1 cycle of 2m (slide-60 figure), radius 2:@.";
+  pf "  %4s %8s %14s %14s@." "m" "⇆2" "CONN differs" "violation";
+  List.iter
+    (fun m ->
+      let g1 = Gen.union_of [ Gen.cycle m; Gen.cycle m ] in
+      let g2 = Gen.cycle (2 * m) in
+      let equiv = Hanf.equiv ~radius:2 g1 g2 in
+      let differs = Graph.connected g2 && not (Graph.connected g1) in
+      pf "  %4d %8b %14b %14b@." m equiv differs (equiv && differs))
+    [ 4; 5; 6; 7; 10; 15 ];
+  pf "Shape: ⇆2 holds exactly when m > 2r+1 = 5; CONN always differs.@.";
+  pf "Tree example: chain 2m vs chain m ⊎ cycle m (m = 8, radius 1):@.";
+  let m = 8 in
+  let g1 = Gen.path (2 * m) and g2 = Gen.union_of [ Gen.path m; Gen.cycle m ] in
+  pf "  ⇆1: %b, tree-ness differs: %b@." (Hanf.equiv ~radius:1 g1 g2)
+    (Graph.is_tree g1 && not (Graph.is_tree g2))
+
+(* ---------- E12: hierarchy Hanf ⊆ Gaifman ⊆ BNDP ---------- *)
+
+let e12 () =
+  pf "Query zoo × locality tools (witness families; ✓ = passes):@.";
+  let bool_queries =
+    [
+      ("CONN", Queries.connected);
+      ("ACYCL", Queries.acyclic);
+      ("TREE", Queries.is_tree);
+      ("dominator (FO)", Queries.dominator);
+      ("symmetric (FO)", Queries.symmetric);
+    ]
+  in
+  let hanf_pairs =
+    [
+      (Gen.union_of [ Gen.cycle 7; Gen.cycle 7 ], Gen.cycle 14);
+      (Gen.path 16, Gen.union_of [ Gen.path 8; Gen.cycle 8 ]);
+    ]
+  in
+  pf "  Boolean queries, Hanf at radius 2:@.";
+  List.iter
+    (fun (name, q) ->
+      let violated = Hanf.hanf_local_violation ~radius:2 q hanf_pairs <> None in
+      pf "    %-16s %s@." name (if violated then "✗ violated" else "✓ passes"))
+    bool_queries;
+  pf "  Binary queries, Gaifman at radius 1 + BNDP on chains:@.";
+  let bin_queries =
+    [
+      ("TC", Queries.transitive_closure);
+      ("same-gen", Queries.same_generation);
+      ("path2 (FO)", Queries.path2);
+      ("sym-pair (FO)", Queries.symmetric_pair);
+    ]
+  in
+  let chains = List.map Gen.successor [ 4; 8; 16 ] in
+  List.iter
+    (fun (name, q) ->
+      let gaifman =
+        Gaifman_local.violation ~arity:2 ~radius:1 q (Gen.path 12) = None
+      in
+      let bndp = Bndp.bounded q chains in
+      pf "    %-16s Gaifman %s   BNDP %s@." name
+        (if gaifman then "✓" else "✗")
+        (if bndp then "✓" else "✗");
+      (* Theorem 3.9: BNDP failure must come with Gaifman failure here. *)
+      assert (bndp || not gaifman))
+    bin_queries;
+  pf "  Hierarchy (Thm 3.9) respected: every Gaifman-passing query passes BNDP.@."
+
+(* ---------- E13: linear-time bounded-degree evaluation ---------- *)
+
+let e13 () =
+  let phi = f "forall x. exists y. E(x,y)" in
+  pf "sentence: forall x. exists y. E(x,y); family: directed cycles@.";
+  let ev = Bounded_degree.make phi ~degree_bound:2 in
+  (* Warm the cache. *)
+  ignore (Bounded_degree.eval ev (Gen.cycle 32));
+  pf "  radius %d, threshold %d@." (Bounded_degree.radius ev)
+    (Bounded_degree.threshold ev);
+  let agree = ref true in
+  List.iter
+    (fun n ->
+      if Bounded_degree.eval ev (Gen.cycle n) <> Eval.sat (Gen.cycle n) phi then
+        agree := false)
+    [ 40; 80; 160 ];
+  pf "  agreement with naive on the family: %b@." !agree;
+  let hits, misses = Bounded_degree.cache_stats ev in
+  pf "  cache: %d hits / %d misses@." hits misses;
+  pf "@.Wall-clock, cached (census) vs naive O(n^2) (Bechamel):@.";
+  let cached_tests =
+    List.map
+      (fun n ->
+        let g = Gen.cycle n in
+        bench (Printf.sprintf "hanf-cached n=%-5d" n) (fun () ->
+            Bounded_degree.eval ev g))
+      [ 256; 1024; 4096 ]
+  in
+  let naive_tests =
+    List.map
+      (fun n ->
+        let g = Gen.cycle n in
+        bench (Printf.sprintf "naive       n=%-5d" n) (fun () ->
+            Eval.sat g phi))
+      [ 256; 1024; 2048 ]
+  in
+  run_bechamel
+    (Bechamel.Test.make_grouped ~name:"E13" (cached_tests @ naive_tests));
+  pf
+    "Shape: cached grows linearly (≈4x per 4x n); naive grows \
+     quadratically (≈16x per 4x n); the crossover falls between n = 1024 \
+     and n = 4096.@."
+
+(* ---------- E14: Gaifman normal form / basic local sentences ---------- *)
+
+let e14 () =
+  pf "Basic local sentences vs plain FO on random graphs:@.";
+  (* 'There are >= 2 loops at distance > 2' as a basic local sentence;
+     FO equivalent uses an explicit non-adjacency expansion valid at
+     radius 1: d(x,y) > 2 iff no common neighbour and not adjacent. *)
+  let basic =
+    { Local_sentence.count = 2; radius = 1; formula = f "E(x,x)" }
+  in
+  let fo =
+    f
+      "exists x y. E(x,x) & E(y,y) & x != y & !E(x,y) & !E(y,x) & !(exists \
+       z. (E(x,z) | E(z,x)) & (E(y,z) | E(z,y)))"
+  in
+  let r = rng () in
+  let agreements = ref 0 and total = 200 in
+  for _ = 1 to total do
+    let g = Gen.random_graph ~rng:r 8 0.15 in
+    if Local_sentence.eval_basic g basic = Eval.sat g fo then incr agreements
+  done;
+  pf "  agreement on %d/%d random graphs@." !agreements total;
+  pf "Scattered-sequence evaluation on chains:@.";
+  let b = { Local_sentence.count = 3; radius = 1; formula = f "exists y. E(x,y)" } in
+  List.iter
+    (fun n ->
+      pf "  chain %2d: 3 scattered vertices with successors: %b@." n
+        (Local_sentence.eval_basic (Gen.path n) b))
+    [ 5; 7; 9; 11; 13 ]
+
+(* ---------- E15: 0-1 law, Monte-Carlo ---------- *)
+
+let e15 () =
+  let q1 = f "forall x y. E(x,y)" in
+  let q2 = f "forall x y. x = y | (exists z. E(z,x) & !E(z,y))" in
+  pf "μn series (400 trials each):@.";
+  pf "  %4s %9s %9s %9s@." "n" "Q1" "Q2" "EVEN";
+  List.iter
+    (fun n ->
+      let m1 = Estimator.mu_formula ~rng:(rng ()) ~trials:400 Signature.graph n q1 in
+      let m2 = Estimator.mu_formula ~rng:(rng ()) ~trials:400 Signature.graph n q2 in
+      let me =
+        Estimator.mu ~rng:(rng ()) ~trials:10 Signature.graph n Queries.even
+      in
+      pf "  %4d %9.3f %9.3f %9.0f@." n m1 m2 me)
+    [ 2; 3; 4; 5; 8; 16; 32; 40 ];
+  pf "Shape: μ(Q1) → 0, μ(Q2) → 1, μ(EVEN) alternates (no limit).@."
+
+(* ---------- E16: almost-sure theory, decided ---------- *)
+
+let e16 () =
+  let battery =
+    [
+      "exists x y. E(x,y)";
+      "forall x. exists y. E(x,y)";
+      "exists x. forall y. !E(x,y)";
+      "forall x y. exists z. E(z,x) & E(z,y)";
+      "exists x y z. E(x,y) & E(y,z) & E(x,z)";
+      "forall x y. x = y | E(x,y)";
+    ]
+  in
+  pf "  %-45s %5s %5s %9s@." "sentence" "μ(w1)" "μ(w2)" "MC(n=32)";
+  List.iter
+    (fun s ->
+      let phi = f s in
+      let m1 =
+        Almost_sure.mu ~source:(Almost_sure.Search (rng (), 130)) phi
+      in
+      let m2 =
+        Almost_sure.mu
+          ~source:(Almost_sure.Search (Random.State.make [| 7 |], 140))
+          phi
+      in
+      let mc =
+        Estimator.mu_with ~rng:(rng ()) ~trials:150
+          ~sample:(fun r -> Gen.random_undirected_graph ~rng:r 32 0.5)
+          (fun g -> Eval.sat g phi)
+      in
+      pf "  %-45s %5.0f %5.0f %9.2f@." s m1 m2 mc)
+    battery;
+  pf "Shape: two independent verified witnesses agree; Monte-Carlo trends match.@."
+
+(* ---------- E17: QBF / PSPACE ---------- *)
+
+let e17 () =
+  pf "QBF solved directly and via the FO model-checking reduction:@.";
+  pf "  %6s %12s %8s %8s@." "n" "quantifiers" "QBF" "via FO";
+  List.iter
+    (fun n ->
+      let q = Qbf.pigeonhole_valid n in
+      pf "  %6d %12d %8b %8b@." n (Qbf.quantifier_count q) (Qbf.solve q)
+        (Reduction.decide_via_fo q))
+    [ 1; 2; 3 ];
+  pf "@.Wall-clock scaling (exponential in quantifier count):@.";
+  let tests =
+    List.map
+      (fun n ->
+        let q = Qbf.pigeonhole_valid n in
+        bench (Printf.sprintf "qbf php n=%d (%2d quantifiers)" n
+                 (Qbf.quantifier_count q))
+          (fun () -> Qbf.solve q))
+      [ 1; 2; 3 ]
+  in
+  run_bechamel (Bechamel.Test.make_grouped ~name:"E17" tests)
+
+(* ---------- E18: Datalog naive vs semi-naive ---------- *)
+
+let e18 () =
+  pf "TC on the n-chain: fixpoint work (join steps):@.";
+  pf "  %6s %12s %12s %8s@." "n" "naive" "semi-naive" "ratio";
+  List.iter
+    (fun n ->
+      let db = Engine.Db.of_structure (Gen.successor n) in
+      let _, s1 = Engine.naive Programs.transitive_closure db in
+      let _, s2 = Engine.seminaive Programs.transitive_closure db in
+      pf "  %6d %12d %12d %8.1f@." n s1.Engine.join_work s2.Engine.join_work
+        (float_of_int s1.Engine.join_work /. float_of_int s2.Engine.join_work))
+    [ 8; 16; 32; 48 ];
+  pf "Shape: the naive/semi-naive ratio grows with n.@.";
+  pf "@.Wall-clock (Bechamel):@.";
+  let tests =
+    List.concat_map
+      (fun n ->
+        let db = Engine.Db.of_structure (Gen.successor n) in
+        [
+          bench (Printf.sprintf "naive      n=%-3d" n) (fun () ->
+              Engine.naive Programs.transitive_closure db);
+          bench (Printf.sprintf "semi-naive n=%-3d" n) (fun () ->
+              Engine.seminaive Programs.transitive_closure db);
+        ])
+      [ 16; 32 ]
+  in
+  run_bechamel (Bechamel.Test.make_grouped ~name:"E18" tests)
+
+(* ---------- E19: beyond FO — MSO and existential SO ---------- *)
+
+let e19 () =
+  let module So_eval = Fmtk_so.So_eval in
+  let module So_queries = Fmtk_so.So_queries in
+  pf "EVEN over linear orders, MSO-definable (FO cannot, Theorem 3.1):@.";
+  pf "  %4s %8s@." "n" "MSO-even";
+  List.iter
+    (fun n ->
+      pf "  %4d %8b@." n
+        (So_eval.sat (Gen.linear_order n) So_queries.even_on_orders))
+    [ 4; 5; 6; 7; 8; 9 ];
+  pf "Connectivity, MSO-definable (FO cannot, Corollary 3.2):@.";
+  let cases =
+    [
+      ("cycle 6", Gen.cycle 6);
+      ("2 cycles", Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ]);
+      ("path 6", Gen.path 6);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      pf "  %-10s MSO: %b  BFS: %b@." name
+        (So_eval.sat g So_queries.connectivity)
+        (Graph.connected g))
+    cases;
+  pf "Fagin's theorem flavour — NP queries in existential SO:@.";
+  pf "  3-colorability (∃MSO):@.";
+  List.iter
+    (fun (name, g) ->
+      pf "    %-14s ∃MSO: %-5b brute force: %b@." name
+        (So_eval.sat g So_queries.three_colorable)
+        (So_queries.three_colorable_direct g))
+    [
+      ("K3", Graph.symmetric_closure (Gen.complete 3));
+      ("K4", Graph.symmetric_closure (Gen.complete 4));
+      ("C5", Graph.symmetric_closure (Gen.cycle 5));
+      ("grid 2x3", Graph.symmetric_closure (Gen.grid 2 3));
+    ];
+  pf "  Hamiltonian path (∃SO, binary relation quantifier):@.";
+  List.iter
+    (fun (name, g) ->
+      pf "    %-14s ∃SO: %-5b backtracking: %b@." name
+        (So_eval.sat g So_queries.hamiltonian_path)
+        (So_queries.hamiltonian_path_direct g))
+    [
+      ("path 4", Gen.path 4);
+      ("cycle 4", Gen.cycle 4);
+      ("out-star 4", Structure.make Signature.graph ~size:4
+                       [ ("E", [ [| 0; 1 |]; [| 0; 2 |]; [| 0; 3 |] ]) ]);
+    ];
+  pf "@.Wall-clock: the second-order quantifier exponent (Bechamel):@.";
+  let tests =
+    List.map
+      (fun n ->
+        let g = Graph.symmetric_closure (Gen.cycle n) in
+        bench (Printf.sprintf "3COL via ∃MSO n=%-2d" n) (fun () ->
+            So_eval.sat g So_queries.three_colorable))
+      [ 4; 6; 8 ]
+  in
+  run_bechamel (Bechamel.Test.make_grouped ~name:"E19" tests)
+
+(* ---------- E20: fixpoint logic FO(IFP) ---------- *)
+
+let e20 () =
+  let module Fp = Fmtk_fixpoint.Fp_formula in
+  let module Fp_eval = Fmtk_fixpoint.Fp_eval in
+  pf "TC as an IFP formula — stages grow with the data (FO cannot iterate):@.";
+  pf "  %6s %8s %14s %18s@." "n" "stages" "tuples tested" "matches matrix TC";
+  List.iter
+    (fun n ->
+      let g = Gen.successor n in
+      let stats = Fp_eval.new_stats () in
+      let ans = Fp_eval.answers ~stats g Fp.transitive_closure ~vars:[ "u"; "v" ] in
+      pf "  %6d %8d %14d %18b@." n stats.Fp_eval.stages
+        stats.Fp_eval.tuples_tested
+        (Fmtk_structure.Tuple.Set.equal ans (Graph.transitive_closure g)))
+    [ 4; 8; 12; 16 ];
+  pf "Connectivity and EVEN-with-order in FO(IFP):@.";
+  List.iter
+    (fun (name, g) ->
+      pf "  %-12s IFP-CONN: %-5b BFS: %b@." name
+        (Fp_eval.sat g Fp.connectivity) (Graph.connected g))
+    [
+      ("cycle 8", Gen.cycle 8);
+      ("2 cycles", Gen.union_of [ Gen.cycle 4; Gen.cycle 4 ]);
+    ];
+  List.iter
+    (fun n ->
+      pf "  L%-3d IFP-EVEN: %b (expected %b)@." n
+        (Fp_eval.sat (Gen.linear_order n) Fp.even_on_orders)
+        (n mod 2 = 0))
+    [ 6; 7; 8; 9 ];
+  pf
+    "Immerman–Vardi in action: with an order, the fixpoint logic expresses \
+     EVEN,@.";
+  pf "which Theorem 3.1 proved impossible for FO.@.";
+  pf "@.Wall-clock: IFP evaluator vs the Datalog engine on TC (Bechamel):@.";
+  let tests =
+    List.concat_map
+      (fun n ->
+        let g = Gen.successor n in
+        let db = Engine.Db.of_structure g in
+        [
+          bench (Printf.sprintf "IFP answers  n=%-3d" n) (fun () ->
+              Fp_eval.answers g Fp.transitive_closure ~vars:[ "u"; "v" ]);
+          bench (Printf.sprintf "semi-naive   n=%-3d" n) (fun () ->
+              Engine.seminaive Programs.transitive_closure db);
+        ])
+      [ 8; 16 ]
+  in
+  run_bechamel (Bechamel.Test.make_grouped ~name:"E20" tests)
+
+(* ---------- E21: trees — automata vs MSO (Thatcher–Wright) ---------- *)
+
+let e21 () =
+  let module Tree = Fmtk_trees.Tree in
+  let module Automaton = Fmtk_trees.Automaton in
+  let module Mso_trees = Fmtk_trees.Mso_trees in
+  let r = rng () in
+  pf "Boolean-expression trees: automaton run vs MSO sentence vs direct:@.";
+  pf "  %6s %6s %10s %6s %8s %8s@." "depth" "size" "automaton" "MSO" "direct" "agree";
+  List.iter
+    (fun d ->
+      let t = Tree.random ~rng:r ~internal:[ "and"; "or" ] ~leaves:[ "0"; "1" ] d in
+      let a = Mso_trees.eval_via_automaton t in
+      let m = Mso_trees.eval_via_mso t in
+      let dr = Mso_trees.eval_direct t in
+      pf "  %6d %6d %10b %6b %8b %8b@." d (Tree.size t) a m dr
+        (a = m && m = dr))
+    [ 0; 1; 2; 3; 3; 3 ];
+  pf "Boolean closure + emptiness (decidability of MSO on trees):@.";
+  let internal = [ "and"; "or" ] and leaves = [ "0"; "1" ] in
+  let contradiction =
+    Automaton.intersect ~alphabet:Mso_trees.bool_alphabet Automaton.boolean_eval
+      (Automaton.complement Automaton.boolean_eval)
+  in
+  pf "  L(eval-true) nonempty: %b@."
+    (Automaton.nonempty ~internal ~leaves Automaton.boolean_eval);
+  pf "  L(eval-true ∧ ¬eval-true) nonempty: %b@."
+    (Automaton.nonempty ~internal ~leaves contradiction);
+  pf "  L(eval-true) over only-0 leaves nonempty: %b@."
+    (Automaton.nonempty ~internal ~leaves:[ "0" ] Automaton.boolean_eval);
+  pf "@.Wall-clock: linear automaton vs exponential MSO evaluation (Bechamel):@.";
+  let tests =
+    List.concat_map
+      (fun d ->
+        let t =
+          Tree.random ~rng:r ~internal:[ "and"; "or" ] ~leaves:[ "0"; "1" ] d
+        in
+        [
+          bench (Printf.sprintf "automaton depth=%d (n=%-2d)" d (Tree.size t))
+            (fun () -> Mso_trees.eval_via_automaton t);
+          bench (Printf.sprintf "MSO       depth=%d (n=%-2d)" d (Tree.size t))
+            (fun () -> Mso_trees.eval_via_mso t);
+        ])
+      [ 2; 3 ]
+  in
+  run_bechamel (Bechamel.Test.make_grouped ~name:"E21" tests)
+
+(* ---------- E22: counting quantifiers and aggregates ---------- *)
+
+let e22 () =
+  let module Counting = Fmtk_counting.Counting in
+  let module Relation = Fmtk_db.Relation in
+  let module Aggregate = Fmtk_db.Aggregate in
+  pf "FO(Cnt) vs its FO expansion — succinctness of counting:@.";
+  pf "  %4s %14s %14s %14s %14s@." "k" "cnt rank" "cnt size" "FO rank" "FO size";
+  List.iter
+    (fun k ->
+      let phi = Counting.degree_at_least_sentence k in
+      let fo = Counting.expand phi in
+      pf "  %4d %14d %14d %14d %14d@." k (Counting.rank phi)
+        (Counting.size phi)
+        (Formula.quantifier_rank fo) (Formula.size fo))
+    [ 1; 2; 4; 8; 16 ];
+  pf "Shape: counting stays constant; the expansion grows with k (rank k+1, size Θ(k²)).@.";
+  pf "@.Semantic agreement (counting eval vs expanded FO eval vs aggregation):@.";
+  let r = rng () in
+  let agree = ref true in
+  for _ = 1 to 50 do
+    let g = Gen.random_graph ~rng:r 8 0.3 in
+    let k = 1 + Random.State.int r 3 in
+    let phi = Counting.degree_at_least_sentence k in
+    let via_cnt = Counting.sat g phi in
+    let via_fo = Eval.sat g (Counting.expand phi) in
+    let via_agg =
+      let edges = Relation.of_set [ "src"; "dst" ] (Structure.rel g "E") in
+      let deg = Aggregate.group_by edges ~keys:[ "src" ] ~op:Aggregate.Count ~into:"d" in
+      Relation.cardinality (Aggregate.having deg ~attr:"d" ~pred:(fun d -> d >= k)) > 0
+    in
+    if not (via_cnt = via_fo && via_fo = via_agg) then agree := false
+  done;
+  pf "  three-way agreement on 50 random instances: %b@." !agree;
+  pf "@.Wall-clock: counting scan vs expanded FO evaluation (Bechamel):@.";
+  let g = Gen.random_graph ~rng:r 24 0.5 in
+  let tests =
+    List.concat_map
+      (fun k ->
+        let phi = Counting.degree_at_least_sentence k in
+        let fo = Counting.expand phi in
+        [
+          bench (Printf.sprintf "counting  k=%d" k) (fun () -> Counting.sat g phi);
+          bench (Printf.sprintf "expansion k=%d" k) (fun () -> Eval.sat g fo);
+        ])
+      [ 2; 4 ]
+  in
+  run_bechamel (Bechamel.Test.make_grouped ~name:"E22" tests)
+
+(* ---------- Ablations ---------- *)
+
+let ablation () =
+  pf "EF solver memoization (L5 vs L6, 3 rounds):@.";
+  List.iter
+    (fun memo ->
+      ignore
+        (Ef.duplicator_wins ~config:{ Ef.memo } ~rounds:3 (Gen.linear_order 5)
+           (Gen.linear_order 6));
+      pf "  memo=%-5b positions explored: %d@." memo
+        (Ef.last_positions_explored ()))
+    [ true; false ];
+  pf "Census invariant-key bucketing (random degree-3 graph, n=120, r=2):@.";
+  let many_types = Gen.bounded_degree_graph ~rng:(rng ()) 120 3 in
+  List.iter
+    (fun bucketing ->
+      let reg = Neighborhood.create_registry ~bucketing () in
+      let census = Neighborhood.census reg many_types ~radius:2 in
+      pf "  bucketing=%-5b types: %d, exact iso tests: %d@." bucketing
+        (List.length census)
+        (Neighborhood.iso_tests reg))
+    [ true; false ];
+  pf "Direct recursive eval vs RA-compiled join plan (conjunctive query):@.";
+  let phi = f "exists x y z. E(x,y) & E(y,z) & E(z,x)" in
+  let g = Gen.random_graph ~rng:(rng ()) 40 0.1 in
+  let tests =
+    [
+      bench "direct eval (triangle query, n=40)" (fun () -> Eval.sat g phi);
+      bench "RA join plan (triangle query, n=40)" (fun () -> Compile.sat g phi);
+    ]
+  in
+  run_bechamel (Bechamel.Test.make_grouped ~name:"ablation" tests)
+
+(* ---------- driver ---------- *)
+
+let sections =
+  [
+    ("E1", "combined complexity O(n^k) (Stockmeyer/Vardi)", e1);
+    ("E2", "FO is in AC0: circuit family measurements", e2);
+    ("E3", "finite compactness fails (λn family)", e3);
+    ("E4", "EVEN(∅) inexpressibility via games", e4);
+    ("E5", "Theorem 3.1: L_m ≡n L_k", e5);
+    ("E6", "order → graph: connectivity construction", e6);
+    ("E7", "order → graph: acyclicity construction", e7);
+    ("E8", "CONN via the TC oracle", e8);
+    ("E9", "BNDP: TC and same-generation vs FO", e9);
+    ("E10", "Gaifman locality: the chain argument", e10);
+    ("E11", "Hanf locality: two cycles vs one", e11);
+    ("E12", "hierarchy Hanf ⊆ Gaifman ⊆ BNDP on the zoo", e12);
+    ("E13", "Theorem 3.11: linear time on bounded degree", e13);
+    ("E14", "Theorem 3.12: basic local sentences", e14);
+    ("E15", "0-1 law: μn series", e15);
+    ("E16", "almost-sure theory decided on verified witnesses", e16);
+    ("E17", "PSPACE: QBF and the FO reduction", e17);
+    ("E18", "Datalog: naive vs semi-naive", e18);
+    ("E19", "beyond FO: MSO and existential SO", e19);
+    ("E20", "fixpoint logic FO(IFP): TC, CONN, Immerman–Vardi", e20);
+    ("E21", "trees: automata = MSO (Thatcher–Wright)", e21);
+    ("E22", "counting quantifiers and aggregates", e22);
+    ("ablation", "design-choice ablations", ablation);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let only =
+    match args with
+    | _ :: "--only" :: id :: _ -> Some id
+    | _ -> None
+  in
+  if List.mem "--list" args then
+    List.iter (fun (id, doc, _) -> pf "%-9s %s@." id doc) sections
+  else begin
+    List.iter
+      (fun (id, doc, run) ->
+        match only with
+        | Some o when o <> id -> ()
+        | _ ->
+            pf "@.======== %s: %s ========@." id doc;
+            run ())
+      sections;
+    pf "@.All requested experiment sections completed.@."
+  end

@@ -1,0 +1,418 @@
+(* fmtk — command-line front end for the finite model theory toolbox.
+
+   Structures are given either as files (see Structure_io) or as generator
+   specs like "cycle:8", "order:5", "chain:6", "set:4", "complete:3",
+   "tree:3", "grid:3x4", "random:20:0.3:7", "paley:13". *)
+
+module Signature = Fmtk_logic.Signature
+module Formula = Fmtk_logic.Formula
+module Parser = Fmtk_logic.Parser
+module Structure = Fmtk_structure.Structure
+module Structure_io = Fmtk_structure.Structure_io
+module Tuple = Fmtk_structure.Tuple
+module Gen = Fmtk_structure.Gen
+module Graph = Fmtk_structure.Graph
+module Eval = Fmtk_eval.Eval
+module Compile = Fmtk_db.Compile
+module Ef = Fmtk_games.Ef
+module Distinguish = Fmtk_games.Distinguish
+module Neighborhood = Fmtk_locality.Neighborhood
+module Hanf = Fmtk_locality.Hanf
+module Estimator = Fmtk_zeroone.Estimator
+module Almost_sure = Fmtk_zeroone.Almost_sure
+module Paley = Fmtk_zeroone.Paley
+module Fo_circuit = Fmtk_circuits.Fo_circuit
+module Engine = Fmtk_datalog.Engine
+module Programs = Fmtk_datalog.Programs
+
+open Cmdliner
+
+(* ---- structure argument ---- *)
+
+let parse_spec spec =
+  match String.split_on_char ':' spec with
+  | [ "set"; n ] -> Ok (Gen.set (int_of_string n))
+  | [ "order"; n ] -> Ok (Gen.linear_order (int_of_string n))
+  | [ "chain"; n ] | [ "successor"; n ] -> Ok (Gen.successor (int_of_string n))
+  | [ "cycle"; n ] -> Ok (Gen.cycle (int_of_string n))
+  | [ "complete"; n ] -> Ok (Gen.complete (int_of_string n))
+  | [ "tree"; d ] -> Ok (Gen.binary_tree (int_of_string d))
+  | [ "paley"; q ] -> Ok (Paley.graph (int_of_string q))
+  | [ "grid"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ w; h ] -> Ok (Gen.grid (int_of_string w) (int_of_string h))
+      | _ -> Error (`Msg "grid spec is grid:WxH"))
+  | [ "random"; n; p; seed ] ->
+      let rng = Random.State.make [| int_of_string seed |] in
+      Ok (Gen.random_graph ~rng (int_of_string n) (float_of_string p))
+  | _ -> (
+      match Structure_io.load spec with
+      | Ok s -> Ok s
+      | Error e -> Error (`Msg e))
+
+let structure_conv =
+  let parse spec =
+    match parse_spec spec with
+    | Ok s -> Ok s
+    | Error (`Msg _) as e -> e
+    | exception e -> Error (`Msg (Printexc.to_string e))
+  in
+  Arg.conv (parse, fun ppf s -> Format.fprintf ppf "<structure n=%d>" (Structure.size s))
+
+let formula_conv =
+  let parse s =
+    match Parser.parse s with Ok f -> Ok f | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Formula.pp)
+
+let structure_arg ~name ~doc idx =
+  Arg.(required & pos idx (some structure_conv) None & info [] ~docv:name ~doc)
+
+let formula_arg idx =
+  Arg.(
+    required
+    & pos idx (some formula_conv) None
+    & info [] ~docv:"FORMULA" ~doc:"First-order formula (fmtk syntax).")
+
+(* ---- eval ---- *)
+
+let eval_cmd =
+  let run s phi use_ra =
+    let fv = Formula.free_vars phi in
+    if fv = [] then
+      let v = if use_ra then Compile.sat s phi else Eval.sat s phi in
+      Format.printf "%b@." v
+    else begin
+      let vars, answers =
+        if use_ra then Compile.answers s phi else Eval.answers s phi
+      in
+      Format.printf "answers over (%s):@." (String.concat "," vars);
+      Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) answers
+    end
+  in
+  let ra =
+    Arg.(value & flag & info [ "ra" ] ~doc:"Evaluate through the relational-algebra compiler.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate an FO formula on a structure")
+    Term.(
+      const run
+      $ structure_arg ~name:"STRUCTURE" ~doc:"Structure (file or generator spec)." 0
+      $ formula_arg 1 $ ra)
+
+(* ---- game ---- *)
+
+let game_cmd =
+  let run a b rounds distinguish =
+    let wins = Ef.duplicator_wins ~rounds a b in
+    Format.printf "duplicator %s the %d-round game@."
+      (if wins then "wins" else "loses")
+      rounds;
+    if distinguish && not wins then
+      match Distinguish.sentence ~rounds a b with
+      | Some phi ->
+          Format.printf "distinguishing sentence (qr ≤ %d): %a@." rounds
+            Formula.pp phi
+      | None -> ()
+  in
+  let rounds =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "n"; "rounds" ] ~docv:"N" ~doc:"Number of rounds.")
+  in
+  let distinguish =
+    Arg.(
+      value & flag
+      & info [ "distinguish" ]
+          ~doc:"When the spoiler wins, print a separating sentence.")
+  in
+  Cmd.v
+    (Cmd.info "game" ~doc:"Play the Ehrenfeucht-Fraïssé game on two structures")
+    Term.(
+      const run
+      $ structure_arg ~name:"LEFT" ~doc:"First structure." 0
+      $ structure_arg ~name:"RIGHT" ~doc:"Second structure." 1
+      $ rounds $ distinguish)
+
+(* ---- locality ---- *)
+
+let census_cmd =
+  let run s radius =
+    let reg = Neighborhood.create_registry () in
+    let census = Neighborhood.census reg s ~radius in
+    Format.printf "radius-%d neighborhood census (%d types):@." radius
+      (List.length census);
+    List.iter
+      (fun (id, count) ->
+        let rep = Neighborhood.representative reg id in
+        Format.printf "  type %d: %d element(s), ball size %d@." id count
+          (Structure.size rep))
+      census
+  in
+  let radius =
+    Arg.(
+      required & opt (some int) None
+      & info [ "r"; "radius" ] ~docv:"R" ~doc:"Neighborhood radius.")
+  in
+  Cmd.v
+    (Cmd.info "census" ~doc:"Neighborhood-type census of a structure")
+    Term.(
+      const run
+      $ structure_arg ~name:"STRUCTURE" ~doc:"Structure." 0
+      $ radius)
+
+let hanf_cmd =
+  let run a b radius threshold =
+    match threshold with
+    | None ->
+        Format.printf "G ⇆%d G': %b@." radius (Hanf.equiv ~radius a b)
+    | Some m ->
+        Format.printf "G ⇆*%d,%d G': %b@." m radius
+          (Hanf.threshold_equiv ~threshold:m ~radius a b)
+  in
+  let radius =
+    Arg.(
+      required & opt (some int) None
+      & info [ "r"; "radius" ] ~docv:"R" ~doc:"Neighborhood radius.")
+  in
+  let threshold =
+    Arg.(
+      value & opt (some int) None
+      & info [ "m"; "threshold" ] ~docv:"M"
+          ~doc:"Use the threshold variant ⇆*m,r.")
+  in
+  Cmd.v
+    (Cmd.info "hanf" ~doc:"Test Hanf equivalence of two structures")
+    Term.(
+      const run
+      $ structure_arg ~name:"LEFT" ~doc:"First structure." 0
+      $ structure_arg ~name:"RIGHT" ~doc:"Second structure." 1
+      $ radius $ threshold)
+
+(* ---- zeroone ---- *)
+
+let mu_cmd =
+  let run phi n trials seed =
+    let rng = Random.State.make [| seed |] in
+    let m = Estimator.mu_formula ~rng ~trials Signature.graph n phi in
+    Format.printf "μ_%d ≈ %.4f  (%d trials)@." n m trials
+  in
+  let n =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Domain size.")
+  in
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Sample count.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "mu" ~doc:"Monte-Carlo estimate of μ_n for a graph sentence")
+    Term.(const run $ formula_arg 0 $ n $ trials $ seed)
+
+let decide_cmd =
+  let run phi size seed =
+    let source =
+      match size with
+      | Some sz -> Almost_sure.Search (Random.State.make [| seed |], sz)
+      | None -> Almost_sure.Paley
+    in
+    Format.printf "μ = %.0f@." (Almost_sure.mu ~source phi)
+  in
+  let size =
+    Arg.(
+      value & opt (some int) None
+      & info [ "search" ] ~docv:"N"
+          ~doc:"Search random graphs of size N for a k-e.c. witness instead \
+                of using a Paley graph.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "decide"
+       ~doc:"Decide the almost-sure value μ ∈ {0,1} of a graph sentence")
+    Term.(const run $ formula_arg 0 $ size $ seed)
+
+(* ---- circuit ---- *)
+
+let circuit_cmd =
+  let run phi size =
+    let compiled = Fo_circuit.compile Signature.graph ~size phi in
+    Format.printf "domain size %d: circuit size %d, depth %d, %d inputs@."
+      size
+      (Fo_circuit.circuit_size compiled)
+      (Fo_circuit.circuit_depth compiled)
+      (Fo_circuit.input_count compiled)
+  in
+  let size =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Domain size.")
+  in
+  Cmd.v
+    (Cmd.info "circuit" ~doc:"Compile a graph sentence to its AC0 circuit")
+    Term.(const run $ formula_arg 0 $ size)
+
+(* ---- datalog ---- *)
+
+let datalog_cmd =
+  let run s program strategy =
+    let prog, pred =
+      match program with
+      | "tc" -> (Programs.transitive_closure, "tc")
+      | "sg" -> (Programs.same_generation, "sg")
+      | "unreach" -> (Programs.unreachable, "unreach")
+      | other -> failwith (Printf.sprintf "unknown program %S (tc|sg|unreach)" other)
+    in
+    let db = Engine.Db.of_structure s in
+    let result, stats =
+      match strategy with
+      | "naive" -> Engine.naive prog db
+      | _ -> Engine.seminaive prog db
+    in
+    let tuples = Engine.Db.find result pred in
+    Format.printf "%s: %d tuples (%d iterations, %d join steps)@." pred
+      (Tuple.Set.cardinal tuples)
+      stats.Engine.iterations stats.Engine.join_work;
+    Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) tuples
+  in
+  let program =
+    Arg.(
+      value & opt string "tc"
+      & info [ "program" ] ~docv:"P" ~doc:"Program: tc, sg, or unreach.")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "seminaive"
+      & info [ "strategy" ] ~docv:"S" ~doc:"naive or seminaive.")
+  in
+  Cmd.v
+    (Cmd.info "datalog" ~doc:"Run a canonical Datalog program on a structure")
+    Term.(
+      const run
+      $ structure_arg ~name:"STRUCTURE" ~doc:"EDB structure." 0
+      $ program $ strategy)
+
+(* ---- reduce ---- *)
+
+let reduce_cmd =
+  let run trick n =
+    let ord = Gen.linear_order n in
+    match trick with
+    | "conn" ->
+        let g = Fmtk.Reductions.conn_construction ord in
+        Format.printf "%a@." Structure.pp g;
+        Format.printf "components: %d (order size %d is %s)@."
+          (Graph.component_count g) n
+          (if n mod 2 = 0 then "even" else "odd")
+    | "acycl" ->
+        let g = Fmtk.Reductions.acycl_construction ord in
+        Format.printf "%a@." Structure.pp g;
+        Format.printf "acyclic: %b@." (Graph.acyclic g)
+    | other -> failwith (Printf.sprintf "unknown trick %S (conn|acycl)" other)
+  in
+  let trick =
+    Arg.(value & opt string "conn" & info [ "trick" ] ~docv:"T" ~doc:"conn or acycl.")
+  in
+  let n =
+    Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Order size.")
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Apply a §3.3 order-to-graph construction")
+    Term.(const run $ trick $ n)
+
+(* ---- qbf ---- *)
+
+let qbf_cmd =
+  let run n =
+    let q = Fmtk_qbf.Qbf.pigeonhole_valid n in
+    let direct = Fmtk_qbf.Qbf.solve q in
+    let via_fo = Fmtk_qbf.Reduction.decide_via_fo q in
+    Format.printf
+      "pigeonhole(%d): %d quantifiers, QBF solver: %b, via FO model \
+       checking: %b@."
+      n
+      (Fmtk_qbf.Qbf.quantifier_count q)
+      direct via_fo
+  in
+  let n =
+    Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Pigeonhole size.")
+  in
+  Cmd.v
+    (Cmd.info "qbf"
+       ~doc:"Solve a QBF directly and through the PSPACE-hardness reduction")
+    Term.(const run $ n)
+
+(* ---- mso / ifp ---- *)
+
+let mso_cmd =
+  let run s query =
+    let phi =
+      match query with
+      | "even" -> Fmtk_so.So_queries.even_on_orders
+      | "conn" -> Fmtk_so.So_queries.connectivity
+      | "3col" -> Fmtk_so.So_queries.three_colorable
+      | "ham" -> Fmtk_so.So_queries.hamiltonian_path
+      | other -> failwith (Printf.sprintf "unknown MSO query %S (even|conn|3col|ham)" other)
+    in
+    Format.printf "%b@." (Fmtk_so.So_eval.sat s phi)
+  in
+  let query =
+    Arg.(
+      value & opt string "conn"
+      & info [ "query" ] ~docv:"Q"
+          ~doc:"even (over orders), conn, 3col, or ham (∃SO).")
+  in
+  Cmd.v
+    (Cmd.info "mso" ~doc:"Evaluate a second-order query on a structure")
+    Term.(
+      const run
+      $ structure_arg ~name:"STRUCTURE" ~doc:"Structure." 0
+      $ query)
+
+let ifp_cmd =
+  let run s query =
+    let module Fp = Fmtk_fixpoint.Fp_formula in
+    let module Fp_eval = Fmtk_fixpoint.Fp_eval in
+    let stats = Fp_eval.new_stats () in
+    (match query with
+    | "tc" ->
+        let tuples = Fp_eval.answers ~stats s Fp.transitive_closure ~vars:[ "u"; "v" ] in
+        Format.printf "tc: %d pairs@." (Tuple.Set.cardinal tuples);
+        Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) tuples
+    | "conn" -> Format.printf "%b@." (Fp_eval.sat ~stats s Fp.connectivity)
+    | "even" -> Format.printf "%b@." (Fp_eval.sat ~stats s Fp.even_on_orders)
+    | other -> failwith (Printf.sprintf "unknown IFP query %S (tc|conn|even)" other));
+    Format.printf "(%d fixpoint stages, %d tuples tested)@." stats.Fp_eval.stages
+      stats.Fp_eval.tuples_tested
+  in
+  let query =
+    Arg.(
+      value & opt string "tc"
+      & info [ "query" ] ~docv:"Q" ~doc:"tc, conn, or even (over orders).")
+  in
+  Cmd.v
+    (Cmd.info "ifp" ~doc:"Evaluate a fixpoint-logic query on a structure")
+    Term.(
+      const run
+      $ structure_arg ~name:"STRUCTURE" ~doc:"Structure." 0
+      $ query)
+
+let main =
+  let info =
+    Cmd.info "fmtk" ~version:"1.0.0"
+      ~doc:"The finite model theory toolbox of a database theoretician"
+  in
+  Cmd.group info
+    [
+      eval_cmd;
+      game_cmd;
+      census_cmd;
+      hanf_cmd;
+      mu_cmd;
+      decide_cmd;
+      circuit_cmd;
+      datalog_cmd;
+      reduce_cmd;
+      qbf_cmd;
+      mso_cmd;
+      ifp_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

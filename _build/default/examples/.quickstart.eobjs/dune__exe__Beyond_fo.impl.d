@@ -1,0 +1,1 @@
+examples/beyond_fo.ml: Fmtk_fixpoint Fmtk_games Fmtk_logic Fmtk_so Fmtk_structure Format List

@@ -1,0 +1,1 @@
+examples/beyond_fo.mli:

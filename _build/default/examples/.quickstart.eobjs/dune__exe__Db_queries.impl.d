@@ -1,0 +1,1 @@
+examples/db_queries.ml: Fmtk_circuits Fmtk_datalog Fmtk_db Fmtk_eval Fmtk_logic Fmtk_structure Format List String

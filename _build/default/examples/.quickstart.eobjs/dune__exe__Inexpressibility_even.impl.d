@@ -1,0 +1,1 @@
+examples/inexpressibility_even.ml: Fmtk Fmtk_games Fmtk_logic Fmtk_structure Format List

@@ -1,0 +1,1 @@
+examples/inexpressibility_even.mli:

@@ -1,0 +1,1 @@
+examples/locality_tc.ml: Fmtk Fmtk_eval Fmtk_locality Fmtk_logic Fmtk_structure Format List String

@@ -1,0 +1,1 @@
+examples/locality_tc.mli:

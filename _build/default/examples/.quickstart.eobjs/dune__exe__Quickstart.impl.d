@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmtk Fmtk_eval Fmtk_games Fmtk_logic Fmtk_structure Format String

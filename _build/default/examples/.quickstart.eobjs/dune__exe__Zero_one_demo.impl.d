@@ -1,0 +1,1 @@
+examples/zero_one_demo.ml: Fmtk_eval Fmtk_logic Fmtk_structure Fmtk_zeroone Format List Random

@@ -1,0 +1,1 @@
+examples/zero_one_demo.mli:

@@ -1,0 +1,71 @@
+(* The FO 0-1 law in action: Monte-Carlo convergence of the slide-63
+   examples, the failure of EVEN, and exact almost-sure decisions via
+   extension-axiom witnesses.
+
+   Run with: dune exec examples/zero_one_demo.exe *)
+
+module Signature = Fmtk_logic.Signature
+module Parser = Fmtk_logic.Parser
+module Structure = Fmtk_structure.Structure
+module Gen = Fmtk_structure.Gen
+module Eval = Fmtk_eval.Eval
+module Estimator = Fmtk_zeroone.Estimator
+module Extension = Fmtk_zeroone.Extension
+module Paley = Fmtk_zeroone.Paley
+module Almost_sure = Fmtk_zeroone.Almost_sure
+
+let header title = Format.printf "@.== %s ==@." title
+let rng () = Random.State.make [| 42 |]
+
+let () =
+  header "Monte-Carlo μ_n for the slide-63 examples";
+  let q1 = Parser.parse_exn "forall x y. E(x,y)" in
+  let q2 = Parser.parse_exn "forall x y. x = y | (exists z. E(z,x) & !E(z,y))" in
+  Format.printf "Q1 = ∀x∀y E(x,y)      (almost surely false)@.";
+  Format.printf "Q2 = ∀x≠y ∃z (E(z,x) ∧ ¬E(z,y))  (almost surely true)@.";
+  Format.printf "%4s  %8s  %8s@." "n" "μn(Q1)" "μn(Q2)";
+  List.iter
+    (fun n ->
+      let m1 = Estimator.mu_formula ~rng:(rng ()) ~trials:200 Signature.graph n q1 in
+      let m2 = Estimator.mu_formula ~rng:(rng ()) ~trials:200 Signature.graph n q2 in
+      Format.printf "%4d  %8.3f  %8.3f@." n m1 m2)
+    [ 2; 4; 8; 16; 24; 32; 40 ];
+
+  header "EVEN has no limit (slide 65)";
+  let even s = Structure.size s mod 2 = 0 in
+  let series =
+    Estimator.mu_series ~rng:(rng ()) ~trials:50 Signature.graph
+      [ 2; 3; 4; 5; 6; 7 ] even
+  in
+  List.iter (fun (n, m) -> Format.printf "  μ_%d(EVEN) = %.0f@." n m) series;
+  Format.printf "μ_n alternates between 0 and 1 — no limit, so by the 0-1@.";
+  Format.printf "law EVEN is not FO-expressible.@.";
+
+  header "Extension axioms and deterministic witnesses";
+  let p13 = Paley.graph 13 in
+  Format.printf "Paley(13): 1-e.c. = %b, 2-e.c. = %b@."
+    (Extension.is_kec ~k:1 p13) (Extension.is_kec ~k:2 p13);
+  let w2 = Paley.witness ~k:2 in
+  Format.printf "Paley 2-e.c. witness has order %d (verified: %b)@."
+    (Structure.size w2) (Extension.is_kec ~k:2 w2);
+
+  header "Deciding the almost-sure theory (μ ∈ {0,1}, exactly)";
+  let battery =
+    [
+      "exists x y. E(x,y)";
+      "forall x. exists y. E(x,y)";
+      "exists x. forall y. !E(x,y)";
+      "forall x y. exists z. E(z,x) & E(z,y)";
+      "exists x y z. E(x,y) & E(y,z) & E(x,z)";
+      "forall x y. x = y | E(x,y)";
+    ]
+  in
+  let source = Almost_sure.Search (rng (), 130) in
+  List.iter
+    (fun s ->
+      let phi = Parser.parse_exn s in
+      Format.printf "  μ(%s) = %.0f@." s (Almost_sure.mu ~source phi))
+    battery;
+  Format.printf
+    "@.Each value is read off a verified q-e.c. witness graph — the@.";
+  Format.printf "transfer theorem behind the FO 0-1 law.@."

@@ -1,0 +1,1 @@
+lib/circuits/circuit.ml: Array Hashtbl Int List Printf String

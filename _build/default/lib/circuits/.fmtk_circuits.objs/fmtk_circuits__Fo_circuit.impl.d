@@ -1,0 +1,1 @@
+lib/circuits/fo_circuit.ml: Array Circuit Fmtk_logic Fmtk_structure List Printf String

@@ -1,0 +1,1 @@
+lib/circuits/fo_circuit.mli: Fmtk_logic Fmtk_structure

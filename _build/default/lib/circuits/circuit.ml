@@ -1,0 +1,122 @@
+type node = int
+
+type gate =
+  | Input of string
+  | Const of bool
+  | Not of node
+  | And of node list
+  | Or of node list
+
+type t = {
+  mutable gates : gate array;
+  mutable used : int;
+  index : (gate, int) Hashtbl.t;
+}
+
+let create () = { gates = Array.make 64 (Const false); used = 0; index = Hashtbl.create 64 }
+
+let gate t g =
+  match Hashtbl.find_opt t.index g with
+  | Some id -> id
+  | None ->
+      if t.used = Array.length t.gates then begin
+        let bigger = Array.make (2 * t.used) (Const false) in
+        Array.blit t.gates 0 bigger 0 t.used;
+        t.gates <- bigger
+      end;
+      let id = t.used in
+      t.gates.(id) <- g;
+      t.used <- id + 1;
+      Hashtbl.add t.index g id;
+      id
+
+let input t name = gate t (Input name)
+let const t b = gate t (Const b)
+
+let not_ t x =
+  match t.gates.(x) with
+  | Const b -> const t (not b)
+  | Not y -> y
+  | Input _ | And _ | Or _ -> gate t (Not x)
+
+let and_ t xs =
+  let xs = List.sort_uniq Int.compare xs in
+  if List.exists (fun x -> t.gates.(x) = Const false) xs then const t false
+  else
+    match List.filter (fun x -> t.gates.(x) <> Const true) xs with
+    | [] -> const t true
+    | [ x ] -> x
+    | xs -> gate t (And xs)
+
+let or_ t xs =
+  let xs = List.sort_uniq Int.compare xs in
+  if List.exists (fun x -> t.gates.(x) = Const true) xs then const t true
+  else
+    match List.filter (fun x -> t.gates.(x) <> Const false) xs with
+    | [] -> const t false
+    | [ x ] -> x
+    | xs -> gate t (Or xs)
+
+let eval t ~output env =
+  let cache = Hashtbl.create 256 in
+  let rec go id =
+    match Hashtbl.find_opt cache id with
+    | Some v -> v
+    | None ->
+        let v =
+          match t.gates.(id) with
+          | Input name -> (
+              match env name with
+              | v -> v
+              | exception Not_found ->
+                  invalid_arg (Printf.sprintf "Circuit.eval: no input %S" name))
+          | Const b -> b
+          | Not x -> not (go x)
+          | And xs -> List.for_all go xs
+          | Or xs -> List.exists go xs
+        in
+        Hashtbl.replace cache id v;
+        v
+  in
+  go output
+
+let reachable t ~output =
+  let seen = Hashtbl.create 256 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      match t.gates.(id) with
+      | Input _ | Const _ -> ()
+      | Not x -> go x
+      | And xs | Or xs -> List.iter go xs
+    end
+  in
+  go output;
+  seen
+
+let size t ~output = Hashtbl.length (reachable t ~output)
+
+let depth t ~output =
+  let cache = Hashtbl.create 256 in
+  let rec go id =
+    match Hashtbl.find_opt cache id with
+    | Some d -> d
+    | None ->
+        let d =
+          match t.gates.(id) with
+          | Input _ | Const _ -> 0
+          | Not x -> 1 + go x
+          | And xs | Or xs -> 1 + List.fold_left (fun acc x -> max acc (go x)) 0 xs
+        in
+        Hashtbl.replace cache id d;
+        d
+  in
+  go output
+
+let inputs t ~output =
+  let seen = reachable t ~output in
+  Hashtbl.fold
+    (fun id () acc ->
+      match t.gates.(id) with Input name -> name :: acc | _ -> acc)
+    seen []
+  |> List.sort_uniq String.compare

@@ -1,0 +1,48 @@
+(** Boolean circuits with unbounded fan-in AND/OR and NOT gates — the
+    computation model of AC⁰ (slides 20–22).
+
+    A circuit is a DAG of gates over named boolean inputs. The complexity
+    measures exposed ([size], [depth]) are the ones AC⁰ constrains:
+    constant depth, polynomial size, unbounded fan-in. *)
+
+type gate =
+  | Input of string
+  | Const of bool
+  | Not of node
+  | And of node list  (** unbounded fan-in; [And []] is true *)
+  | Or of node list  (** unbounded fan-in; [Or []] is false *)
+
+and node
+
+type t
+
+(** [create ()] starts an empty circuit builder. Gates are hash-consed, so
+    structurally equal subcircuits share nodes (their cost counts once). *)
+val create : unit -> t
+
+(** Add a gate, returning its node. *)
+val gate : t -> gate -> node
+
+(** Helpers that also perform local constant folding. *)
+val input : t -> string -> node
+
+val const : t -> bool -> node
+val not_ : t -> node -> node
+val and_ : t -> node list -> node
+val or_ : t -> node list -> node
+
+(** [eval t ~output env] evaluates the circuit at [output] under the input
+    assignment [env].
+    @raise Invalid_argument on inputs missing from [env]. *)
+val eval : t -> output:node -> (string -> bool) -> bool
+
+(** Number of gates reachable from [output] (inputs and constants
+    included). *)
+val size : t -> output:node -> int
+
+(** Longest path from [output] to an input/constant, counting And/Or/Not
+    gates only — the AC⁰ depth measure. *)
+val depth : t -> output:node -> int
+
+(** Input names used below [output]. *)
+val inputs : t -> output:node -> string list

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Fmtk_games Fmtk_logic Fmtk_structure List

@@ -1,0 +1,1 @@
+lib/core/classify.mli: Fmtk_logic Fmtk_structure

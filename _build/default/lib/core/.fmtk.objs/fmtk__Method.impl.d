@@ -1,0 +1,1 @@
+lib/core/method.ml: Fmtk_games Fmtk_locality Fmtk_structure Fun List Printf

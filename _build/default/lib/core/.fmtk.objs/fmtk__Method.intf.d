@@ -1,0 +1,1 @@
+lib/core/method.mli: Fmtk_games Fmtk_logic Fmtk_structure Random

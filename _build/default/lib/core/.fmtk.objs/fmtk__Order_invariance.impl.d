@@ -1,0 +1,1 @@
+lib/core/order_invariance.ml: Array Fmtk_eval Fmtk_logic Fmtk_structure Fun List Random

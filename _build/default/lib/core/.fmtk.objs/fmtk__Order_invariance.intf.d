@@ -1,0 +1,1 @@
+lib/core/order_invariance.mli: Fmtk_logic Fmtk_structure Random

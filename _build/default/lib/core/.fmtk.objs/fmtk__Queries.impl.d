@@ -1,0 +1,1 @@
+lib/core/queries.ml: Fmtk_datalog Fmtk_eval Fmtk_logic Fmtk_structure

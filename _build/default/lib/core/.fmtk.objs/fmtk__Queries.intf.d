@@ -1,0 +1,1 @@
+lib/core/queries.mli: Fmtk_logic Fmtk_structure

@@ -1,0 +1,1 @@
+lib/core/reductions.ml: Fmtk_db Fmtk_logic Fmtk_structure List Printf

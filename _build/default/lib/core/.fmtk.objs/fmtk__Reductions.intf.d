@@ -1,0 +1,1 @@
+lib/core/reductions.mli: Fmtk_logic Fmtk_structure

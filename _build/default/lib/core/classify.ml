@@ -1,0 +1,44 @@
+module Structure = Fmtk_structure.Structure
+module Formula = Fmtk_logic.Formula
+module Ef = Fmtk_games.Ef
+module Distinguish = Fmtk_games.Distinguish
+
+let by_rank ~rank ts =
+  let ts = Array.of_list ts in
+  let n = Array.length ts in
+  let classes = Array.make n (-1) in
+  let reps = ref [] in
+  (* ≡rank is an equivalence relation, so comparing against one
+     representative per class suffices. *)
+  Array.iteri
+    (fun i t ->
+      let found =
+        List.find_opt
+          (fun (_, rep) -> Ef.equiv ~rank t ts.(rep))
+          (List.mapi (fun c rep -> (c, rep)) (List.rev !reps))
+      in
+      match found with
+      | Some (c, _) -> classes.(i) <- c
+      | None ->
+          classes.(i) <- List.length !reps;
+          reps := i :: !reps)
+    ts;
+  classes
+
+let separators ~rank ts =
+  let arr = Array.of_list ts in
+  let classes = by_rank ~rank ts in
+  let out = ref [] in
+  Array.iteri
+    (fun i _ ->
+      Array.iteri
+        (fun j _ ->
+          if i < j && classes.(i) <> classes.(j) then
+            match Distinguish.sentence ~rounds:rank arr.(i) arr.(j) with
+            | Some phi -> out := (i, j, phi) :: !out
+            | None ->
+                (* by_rank said they differ; extraction must succeed *)
+                assert false)
+        arr)
+    arr;
+  List.rev !out

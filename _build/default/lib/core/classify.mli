@@ -1,0 +1,21 @@
+(** Classifying structures up to ≡n — rank-n elementary-equivalence types.
+
+    A fundamental finite-model-theory fact behind the game method: for
+    each rank n there are only finitely many rank-n types, and two
+    structures have the same type iff the duplicator wins the n-round
+    game. This module partitions concrete structure families accordingly
+    and exhibits separating sentences between classes. *)
+
+module Structure = Fmtk_structure.Structure
+module Formula = Fmtk_logic.Formula
+
+(** [by_rank ~rank ts] assigns each structure a class id (0-based, in
+    first-representative order): equal ids iff ≡rank. Uses the exact EF
+    solver — keep structures small. *)
+val by_rank : rank:int -> Structure.t list -> int array
+
+(** [separators ~rank ts] — for each pair of structures in distinct
+    classes, a sentence of quantifier rank ≤ rank true on the first and
+    false on the second (from {!Fmtk_games.Distinguish}). *)
+val separators :
+  rank:int -> Structure.t list -> (int * int * Formula.t) list

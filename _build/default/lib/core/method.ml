@@ -1,0 +1,85 @@
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+module Gen = Fmtk_structure.Gen
+module Ef = Fmtk_games.Ef
+module Strategy = Fmtk_games.Strategy
+module Hanf = Fmtk_locality.Hanf
+module Gaifman_local = Fmtk_locality.Gaifman_local
+module Bndp = Fmtk_locality.Bndp
+
+let check cond msg = if cond then Ok () else Error msg
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let game_rank ~rounds ~query a b =
+  let* () = check (query a) "witness A does not satisfy the query" in
+  let* () = check (not (query b)) "witness B satisfies the query" in
+  check
+    (Ef.duplicator_wins ~rounds a b)
+    (Printf.sprintf "spoiler wins the %d-round game: witnesses too small" rounds)
+
+let game_rank_with_strategy ~rounds ~query ~strategy a b =
+  let* () = check (query a) "witness A does not satisfy the query" in
+  let* () = check (not (query b)) "witness B satisfies the query" in
+  match Strategy.verify ~rounds a b strategy with
+  | None -> Ok ()
+  | Some trace ->
+      Error
+        (Printf.sprintf "strategy loses after spoiler line of length %d"
+           (List.length trace))
+
+let hanf_violation ~radius ~query a b =
+  let* () =
+    check
+      (Hanf.equiv ~radius a b)
+      (Printf.sprintf "witnesses are not ⇆%d-equivalent" radius)
+  in
+  check (query a <> query b) "query does not distinguish the witnesses"
+
+let gaifman_violation ~arity ~radius ~query t =
+  match Gaifman_local.violation ~arity ~radius query t with
+  | Some pair -> Ok pair
+  | None ->
+      Error
+        (Printf.sprintf
+           "no Gaifman violation at radius %d on this witness" radius)
+
+let bndp_violation ~degree_bound ~must_exceed ~query family =
+  let profile = Bndp.profile query family in
+  let* () =
+    check
+      (List.for_all (fun (k, _) -> k <= degree_bound) profile)
+      "an input exceeds the declared degree bound"
+  in
+  check
+    (List.exists (fun (_, c) -> c > must_exceed) profile)
+    (Printf.sprintf "output degree counts never exceed %d" must_exceed)
+
+let zero_one_alternation ~rng ~samples ~sizes ~query sg =
+  let verdict_at n =
+    (* Sample: all sampled structures must agree (the EVEN-style queries
+       depend only on n, and this validates that). *)
+    let first = query (Gen.random_structure ~rng sg n) in
+    let consistent =
+      List.for_all
+        (fun _ -> query (Gen.random_structure ~rng sg n) = first)
+        (List.init (max 0 (samples - 1)) Fun.id)
+    in
+    if consistent then Ok first
+    else Error (Printf.sprintf "query is not size-determined at n = %d" n)
+  in
+  let rec go last = function
+    | [] -> Ok ()
+    | n :: rest -> (
+        match verdict_at n with
+        | Error e -> Error e
+        | Ok v -> (
+            match last with
+            | Some prev when prev = v ->
+                Error
+                  (Printf.sprintf
+                     "μ does not alternate between consecutive sizes at n = %d" n)
+            | _ -> go (Some v) rest))
+  in
+  if List.length sizes < 2 then Error "need at least two sizes"
+  else go None sizes

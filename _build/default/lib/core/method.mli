@@ -1,0 +1,89 @@
+(** Inexpressibility method runners: the paper's proof methods packaged as
+    machine-checkable procedures. Each certifier re-derives every premise
+    of the corresponding argument on concrete witnesses and returns
+    [Ok ()] only when the full argument goes through.
+
+    These are what makes the "toolbox" a toolbox: to show a query [Q] is
+    not FO-expressible (up to the checked rank/radius), pick witnesses as
+    the paper does and let the corresponding certifier validate the
+    argument. *)
+
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+
+(** {1 The game method (slide 43)} *)
+
+(** [game_rank ~rounds ~query a b] certifies that no sentence of
+    quantifier rank ≤ [rounds] defines [query], by checking
+    (1) [query a = true], (2) [query b = false], and (3) [a ≡rounds b]
+    via the exact EF solver. On failure, says which premise broke. *)
+val game_rank :
+  rounds:int ->
+  query:(Structure.t -> bool) ->
+  Structure.t ->
+  Structure.t ->
+  (unit, string) result
+
+(** Like {!game_rank} but certifying [a ≡rounds b] by playing a
+    closed-form duplicator {!Fmtk_games.Strategy.t} against every spoiler
+    line — reaches far larger witnesses than the exact solver. *)
+val game_rank_with_strategy :
+  rounds:int ->
+  query:(Structure.t -> bool) ->
+  strategy:Fmtk_games.Strategy.t ->
+  Structure.t ->
+  Structure.t ->
+  (unit, string) result
+
+(** {1 The Hanf-locality method (slide 60)} *)
+
+(** Certifies [query] is not Hanf-local with radius [radius]:
+    [a ⇆radius b] yet the query distinguishes them. Combined with
+    Theorem 3.8 this refutes FO-definability for every rank whose Hanf
+    radius is ≤ [radius]. *)
+val hanf_violation :
+  radius:int ->
+  query:(Structure.t -> bool) ->
+  Structure.t ->
+  Structure.t ->
+  (unit, string) result
+
+(** {1 The Gaifman-locality method (slide 58)} *)
+
+(** Certifies the m-ary [query] is not Gaifman-local with radius [radius]
+    on witness [t]: returns the violating tuple pair. *)
+val gaifman_violation :
+  arity:int ->
+  radius:int ->
+  query:(Structure.t -> Tuple.Set.t) ->
+  Structure.t ->
+  (int list * int list, string) result
+
+(** {1 The BNDP method (slide 54)} *)
+
+(** Certifies [query] lacks the BNDP on the given family: inputs have
+    degrees bounded by [degree_bound] while output degree counts exceed
+    [must_exceed] somewhere (choose [must_exceed] growing with the family
+    to exhibit unboundedness). *)
+val bndp_violation :
+  degree_bound:int ->
+  must_exceed:int ->
+  query:(Structure.t -> Tuple.Set.t) ->
+  Structure.t list ->
+  (unit, string) result
+
+(** {1 The 0-1 law method (slide 65)} *)
+
+(** Certifies that μ_n([query]) provably alternates on the given sizes —
+    the query's limit does not exist, so by the 0-1 law it is not
+    FO-definable. The queries this applies to (EVEN) are deterministic in
+    [n], so [mu_n] is evaluated exactly: the query must hold on {e every}
+    structure of one size and {e no} structure of the next (checked on
+    [samples] random structures per size plus the deterministic value). *)
+val zero_one_alternation :
+  rng:Random.State.t ->
+  samples:int ->
+  sizes:int list ->
+  query:(Structure.t -> bool) ->
+  Fmtk_logic.Signature.t ->
+  (unit, string) result

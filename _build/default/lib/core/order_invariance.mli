@@ -1,0 +1,31 @@
+(** Structures with order (§3.6 of the paper).
+
+    Database domains are usually ordered, so one asks about expressibility
+    over expansions [(A, <)]. A sentence over [σ ∪ {lt}] defines a query
+    on plain σ-structures only if it is {e order-invariant}: its truth must
+    not depend on which linear order is chosen. This module makes that
+    property checkable on concrete structures — exhaustively over all [n!]
+    orders for small [n], by sampling beyond. *)
+
+module Structure = Fmtk_structure.Structure
+module Formula = Fmtk_logic.Formula
+
+(** [with_order s ~perm] expands [s] with the linear order [lt] in which
+    [perm.(0) < perm.(1) < …]. @raise Invalid_argument if [s] already
+    interprets [lt] or [perm] is not a permutation of the domain. *)
+val with_order : Structure.t -> perm:int array -> Structure.t
+
+(** [invariant_exhaustive s phi] — [Some true] if [phi] (a sentence over
+    [σ ∪ {lt}]) evaluates identically under every linear order on [s];
+    [Some false] with disagreement otherwise; [None] if the domain is too
+    large for exhaustive enumeration (> 7 elements). *)
+val invariant_exhaustive : Structure.t -> Formula.t -> bool option
+
+(** [invariant_sampled ~rng ~trials s phi] — checks [trials] random orders
+    all agree. [false] is conclusive; [true] is statistical evidence. *)
+val invariant_sampled :
+  rng:Random.State.t -> trials:int -> Structure.t -> Formula.t -> bool
+
+(** [eval_under_some_order s phi] — the truth value under the identity
+    order (useful once invariance has been established). *)
+val eval_under_some_order : Structure.t -> Formula.t -> bool

@@ -1,0 +1,75 @@
+module Structure = Fmtk_structure.Structure
+module Signature = Fmtk_logic.Signature
+module Tuple = Fmtk_structure.Tuple
+module Graph = Fmtk_structure.Graph
+module Formula = Fmtk_logic.Formula
+module Parser = Fmtk_logic.Parser
+module Compile = Fmtk_db.Compile
+
+(* Order vocabulary macros, inlined into the parsed formulas:
+   succ(x,y)   = x < y together with no w strictly between
+   first/last  = no predecessor / no successor *)
+let succ x y w =
+  Printf.sprintf "(%s < %s & !(exists %s. %s < %s & %s < %s))" x y w x w w y
+
+let first x w = Printf.sprintf "(!(exists %s. %s < %s))" w w x
+let last x w = Printf.sprintf "(!(exists %s. %s < %s))" w x w
+
+let succ2 x y =
+  Printf.sprintf "(exists z. %s & %s)" (succ x "z" "w1") (succ "z" y "w2")
+
+let second y = Printf.sprintf "(exists f. %s & %s)" (first "f" "w3") (succ "f" y "w4")
+let penult x = Printf.sprintf "(exists l. %s & %s)" (last "l" "w5") (succ x "l" "w6")
+
+let conn_construction_formula =
+  Parser.parse_exn
+    (Printf.sprintf "%s | (%s & %s) | (%s & %s)" (succ2 "x" "y")
+       (last "x" "w7") (second "y") (penult "x") (first "y" "w8"))
+
+let acycl_construction_formula =
+  Parser.parse_exn
+    (Printf.sprintf "%s | (%s & %s)" (succ2 "x" "y") (last "x" "w7")
+       (first "y" "w8"))
+
+let graph_of_answers ord answers =
+  Structure.make Signature.graph ~size:(Structure.size ord)
+    [ ("E", Tuple.Set.elements answers) ]
+
+let apply_formula phi ord =
+  let vars, answers = Compile.answers ord phi in
+  (* Free variables of both constructions are x then y. *)
+  assert (vars = [ "x"; "y" ]);
+  graph_of_answers ord answers
+
+let conn_construction ord = apply_formula conn_construction_formula ord
+let acycl_construction ord = apply_formula acycl_construction_formula ord
+
+let second_successor_edges n =
+  List.init (max 0 (n - 2)) (fun i -> [| i; i + 2 |])
+
+let conn_construction_direct ord =
+  let n = Structure.size ord in
+  let wrap =
+    if n >= 2 then [ [| n - 1; 1 |]; [| n - 2; 0 |] ] else []
+  in
+  Structure.make Signature.graph ~size:n
+    [ ("E", second_successor_edges n @ wrap) ]
+
+let acycl_construction_direct ord =
+  let n = Structure.size ord in
+  let wrap = if n >= 1 then [ [| n - 1; 0 |] ] else [] in
+  Structure.make Signature.graph ~size:n
+    [ ("E", second_successor_edges n @ wrap) ]
+
+let connectivity_via_tc ~tc g =
+  let n = Structure.size g in
+  if n <= 1 then true
+  else
+    let closure = tc (Graph.symmetric_closure g) in
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if u <> v && not (Tuple.Set.mem [| u; v |] closure) then ok := false
+      done
+    done;
+    !ok

@@ -1,0 +1,43 @@
+(** The reduction "tricks" of §3.3: FO-definable constructions that carry
+    EVEN over linear orders into graph properties, plus the CONN ≤ TC
+    reduction.
+
+    Each construction exists twice: as a direct graph builder and as an FO
+    query over the order signature (executed through the relational-algebra
+    compiler) — the tests and experiment E6 check the two agree, which is
+    point (a) of the paper's argument ("the construction is expressible in
+    FO"). *)
+
+module Structure = Fmtk_structure.Structure
+module Formula = Fmtk_logic.Formula
+
+(** {1 EVEN(<) ⇒ CONN (the figure on slide 48)} *)
+
+(** The FO definition φ(x,y) of the connectivity construction over a
+    linear order: edges to the 2nd successor, plus last → 2nd element and
+    penultimate → first. *)
+val conn_construction_formula : Formula.t
+
+(** [conn_construction ord] applies the construction to a linear order
+    (via {!Fmtk_db.Compile}), yielding a graph on the same domain: connected
+    iff the order has odd size, exactly two components iff even. *)
+val conn_construction : Structure.t -> Structure.t
+
+(** Direct (non-FO) builder, for cross-checking. *)
+val conn_construction_direct : Structure.t -> Structure.t
+
+(** {1 EVEN(<) ⇒ ACYCL} *)
+
+(** φ(x,y): edges to the 2nd successor plus one back edge last → first;
+    acyclic iff the order has even size. *)
+val acycl_construction_formula : Formula.t
+
+val acycl_construction : Structure.t -> Structure.t
+val acycl_construction_direct : Structure.t -> Structure.t
+
+(** {1 CONN ⇒ TC (slide 50)} *)
+
+(** Decide connectivity of a graph using only a transitive-closure oracle:
+    symmetrize, close transitively, test completeness-with-loops. *)
+val connectivity_via_tc :
+  tc:(Structure.t -> Fmtk_structure.Tuple.Set.t) -> Structure.t -> bool

@@ -1,0 +1,1 @@
+lib/counting/counting.ml: Array Fmtk_logic Fmtk_structure Fun List Printf String

@@ -1,0 +1,1 @@
+lib/counting/counting.mli: Fmtk_logic Fmtk_structure

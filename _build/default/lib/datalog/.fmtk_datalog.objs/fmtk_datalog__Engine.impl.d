@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array Ast Fmtk_logic Fmtk_structure Format List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/datalog/programs.ml: Ast Engine Fmtk_structure

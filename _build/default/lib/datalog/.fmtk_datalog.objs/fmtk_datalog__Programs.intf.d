@@ -1,0 +1,1 @@
+lib/datalog/programs.mli: Ast Fmtk_structure

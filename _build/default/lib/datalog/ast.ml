@@ -1,0 +1,96 @@
+type term = V of string | C of int
+type atom = { pred : string; args : term list }
+type literal = Pos of atom | Neg of atom
+type rule = { head : atom; body : literal list }
+type program = rule list
+
+let atom_vars a =
+  List.filter_map (function V x -> Some x | C _ -> None) a.args
+
+let range_restricted r =
+  let positive_vars =
+    List.concat_map
+      (function Pos a -> atom_vars a | Neg _ -> [])
+      r.body
+  in
+  let need =
+    atom_vars r.head
+    @ List.concat_map (function Neg a -> atom_vars a | Pos _ -> []) r.body
+  in
+  match List.find_opt (fun x -> not (List.mem x positive_vars)) need with
+  | Some x -> Error x
+  | None -> Ok ()
+
+let idb_preds p =
+  List.fold_left
+    (fun acc r -> if List.mem r.head.pred acc then acc else acc @ [ r.head.pred ])
+    [] p
+
+let stratify p =
+  let idb = idb_preds p in
+  let stratum = Hashtbl.create 8 in
+  List.iter (fun pred -> Hashtbl.replace stratum pred 0) idb;
+  let get pred = Option.value ~default:0 (Hashtbl.find_opt stratum pred) in
+  (* Relax constraints: head >= positive-body stratum, head > negative-body
+     stratum. A change after |idb| full passes means a negative cycle. *)
+  let changed = ref true in
+  let passes = ref 0 in
+  let ok = ref (Ok ()) in
+  while !changed && !ok = Ok () do
+    changed := false;
+    incr passes;
+    List.iter
+      (fun r ->
+        let h = r.head.pred in
+        List.iter
+          (fun lit ->
+            let required =
+              match lit with
+              | Pos a when List.mem a.pred idb -> get a.pred
+              | Neg a when List.mem a.pred idb -> get a.pred + 1
+              | Pos _ | Neg _ -> 0
+            in
+            if get h < required then begin
+              Hashtbl.replace stratum h required;
+              changed := true;
+              if required > List.length idb then ok := Error h
+            end)
+          r.body)
+      p
+  done;
+  match !ok with
+  | Error pred -> Error pred
+  | Ok () ->
+      let max_stratum = List.fold_left (fun acc pr -> max acc (get pr)) 0 idb in
+      let strata =
+        List.init (max_stratum + 1) (fun i ->
+            List.filter (fun r -> get r.head.pred = i) p)
+      in
+      Ok (List.filter (fun s -> s <> []) strata)
+
+let pp_term ppf = function
+  | V x -> Format.pp_print_string ppf x
+  | C n -> Format.pp_print_int ppf n
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.pred
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       pp_term)
+    a.args
+
+let pp_literal ppf = function
+  | Pos a -> pp_atom ppf a
+  | Neg a -> Format.fprintf ppf "!%a" pp_atom a
+
+let pp_rule ppf r =
+  Format.fprintf ppf "%a :- %a." pp_atom r.head
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_literal)
+    r.body
+
+let pp_program ppf p =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+    pp_rule ppf p

@@ -1,0 +1,246 @@
+module Tuple = Fmtk_structure.Tuple
+module Structure = Fmtk_structure.Structure
+module Signature = Fmtk_logic.Signature
+module SMap = Map.Make (String)
+
+module Db = struct
+  type t = Tuple.Set.t SMap.t
+
+  let empty = SMap.empty
+
+  let add pred tuples db =
+    SMap.update pred
+      (function
+        | None -> Some tuples
+        | Some existing -> Some (Tuple.Set.union existing tuples))
+      db
+
+  let find db pred =
+    Option.value ~default:Tuple.Set.empty (SMap.find_opt pred db)
+
+  let preds db = List.map fst (SMap.bindings db)
+
+  let of_structure s =
+    let base =
+      List.fold_left
+        (fun acc (name, _) -> SMap.add name (Structure.rel s name) acc)
+        SMap.empty
+        (Signature.rels (Structure.signature s))
+    in
+    let adom =
+      Tuple.Set.of_list (List.map (fun e -> [| e |]) (Structure.domain s))
+    in
+    SMap.add "adom" adom base
+end
+
+type stats = { iterations : int; join_work : int }
+
+(* Environments are association lists variable -> value. *)
+let match_atom env (a : Ast.atom) tup =
+  let rec go env args i =
+    match args with
+    | [] -> Some env
+    | Ast.C c :: rest -> if tup.(i) = c then go env rest (i + 1) else None
+    | Ast.V x :: rest -> (
+        match List.assoc_opt x env with
+        | Some v -> if tup.(i) = v then go env rest (i + 1) else None
+        | None -> go ((x, tup.(i)) :: env) rest (i + 1))
+  in
+  if Array.length tup <> List.length a.args then None else go env a.args 0
+
+let ground_atom env (a : Ast.atom) =
+  Array.of_list
+    (List.map
+       (function
+         | Ast.C c -> c
+         | Ast.V x -> (
+             match List.assoc_opt x env with
+             | Some v -> v
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "Datalog: unbound variable %S in %s" x a.pred)))
+       a.args)
+
+(* Reorder body so negated literals come after the positives that bind
+   their variables (range restriction guarantees this is possible by
+   putting all negatives last). *)
+let ordered_body (r : Ast.rule) =
+  let pos, neg = List.partition (function Ast.Pos _ -> true | Ast.Neg _ -> false) r.body in
+  pos @ neg
+
+(* Evaluate one rule against [lookup : pred -> Tuple.Set.t], with one
+   designated positive occurrence forced to range over [delta_lookup]
+   instead (for semi-naive); [delta_slot = -1] means no substitution.
+   Returns derived head tuples, accumulating join work in [work]. *)
+let eval_rule ~work ~lookup ?(delta_slot = -1) ?delta_lookup (r : Ast.rule) =
+  let body = ordered_body r in
+  let derived = ref Tuple.Set.empty in
+  let rec go env slot = function
+    | [] -> derived := Tuple.Set.add (ground_atom env r.head) !derived
+    | Ast.Pos a :: rest ->
+        let source =
+          if slot = delta_slot then (Option.get delta_lookup) a.pred
+          else lookup a.pred
+        in
+        Tuple.Set.iter
+          (fun tup ->
+            incr work;
+            match match_atom env a tup with
+            | Some env' -> go env' (slot + 1) rest
+            | None -> ())
+          source
+    | Ast.Neg a :: rest ->
+        incr work;
+        if not (Tuple.Set.mem (ground_atom env a) (lookup a.pred)) then
+          go env slot rest
+  in
+  go [] 0 body;
+  !derived
+
+let validate program =
+  List.iter
+    (fun r ->
+      match Ast.range_restricted r with
+      | Ok () -> ()
+      | Error x ->
+          invalid_arg
+            (Printf.sprintf "Datalog: rule not range-restricted (variable %S): %s"
+               x
+               (Format.asprintf "%a" Ast.pp_rule r)))
+    program
+
+let stratified program =
+  match Ast.stratify program with
+  | Ok strata -> strata
+  | Error pred ->
+      invalid_arg
+        (Printf.sprintf "Datalog: predicate %S negatively depends on itself" pred)
+
+let positive_idb_slots stratum_preds (r : Ast.rule) =
+  (* Slots count positive literals only, in [ordered_body] order, matching
+     the slot counter maintained by [eval_rule]. *)
+  let rec go i = function
+    | [] -> []
+    | Ast.Pos a :: rest ->
+        if List.mem a.Ast.pred stratum_preds then i :: go (i + 1) rest
+        else go (i + 1) rest
+    | Ast.Neg _ :: rest -> go i rest
+  in
+  go 0 (ordered_body r)
+
+let naive program db =
+  validate program;
+  let strata = stratified program in
+  let work = ref 0 in
+  let iterations = ref 0 in
+  let final =
+    List.fold_left
+      (fun db stratum ->
+        let rec iterate db =
+          incr iterations;
+          let additions =
+            List.fold_left
+              (fun acc r ->
+                Db.add r.Ast.head.Ast.pred
+                  (eval_rule ~work ~lookup:(Db.find db) r)
+                  acc)
+              Db.empty stratum
+          in
+          let db' =
+            List.fold_left
+              (fun d pred -> Db.add pred (Db.find additions pred) d)
+              db (Db.preds additions)
+          in
+          let grew =
+            List.exists
+              (fun pred ->
+                Tuple.Set.cardinal (Db.find db' pred)
+                > Tuple.Set.cardinal (Db.find db pred))
+              (Db.preds additions)
+          in
+          if grew then iterate db' else db'
+        in
+        iterate db)
+      db strata
+  in
+  (final, { iterations = !iterations; join_work = !work })
+
+let seminaive program db =
+  validate program;
+  let strata = stratified program in
+  let work = ref 0 in
+  let iterations = ref 0 in
+  let final =
+    List.fold_left
+      (fun db stratum ->
+        let stratum_preds = Ast.idb_preds stratum in
+        (* Initial round: plain evaluation gives the first deltas. *)
+        incr iterations;
+        let first =
+          List.fold_left
+            (fun acc r ->
+              Db.add r.Ast.head.Ast.pred
+                (eval_rule ~work ~lookup:(Db.find db) r)
+                acc)
+            Db.empty stratum
+        in
+        let add_all src dst =
+          List.fold_left
+            (fun d pred -> Db.add pred (Db.find src pred) d)
+            dst (Db.preds src)
+        in
+        let rec iterate db delta =
+          let any_delta =
+            List.exists
+              (fun pred -> not (Tuple.Set.is_empty (Db.find delta pred)))
+              stratum_preds
+          in
+          if not any_delta then db
+          else begin
+            incr iterations;
+            let additions =
+              List.fold_left
+                (fun acc r ->
+                  let slots = positive_idb_slots stratum_preds r in
+                  List.fold_left
+                    (fun acc slot ->
+                      Db.add r.Ast.head.Ast.pred
+                        (eval_rule ~work ~lookup:(Db.find db) ~delta_slot:slot
+                           ~delta_lookup:(Db.find delta) r)
+                        acc)
+                    acc slots)
+                Db.empty stratum
+            in
+            let fresh =
+              List.fold_left
+                (fun acc pred ->
+                  let new_tuples =
+                    Tuple.Set.diff (Db.find additions pred) (Db.find db pred)
+                  in
+                  Db.add pred new_tuples acc)
+                Db.empty (Db.preds additions)
+            in
+            iterate (add_all fresh db) fresh
+          end
+        in
+        let delta0 =
+          List.fold_left
+            (fun acc pred ->
+              Db.add pred
+                (Tuple.Set.diff (Db.find first pred) (Db.find db pred))
+                acc)
+            Db.empty (Db.preds first)
+        in
+        iterate (add_all delta0 db) delta0)
+      db strata
+  in
+  (final, { iterations = !iterations; join_work = !work })
+
+let run ?(strategy = `Seminaive) program s ~pred =
+  let db = Db.of_structure s in
+  let result, _ =
+    match strategy with
+    | `Naive -> naive program db
+    | `Seminaive -> seminaive program db
+  in
+  Db.find result pred

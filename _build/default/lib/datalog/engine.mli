@@ -1,0 +1,46 @@
+(** Datalog evaluation: naive and semi-naive bottom-up fixpoints, with
+    stratified negation.
+
+    Both strategies compute the same minimal model; semi-naive restricts
+    each recursive join to derivations that use at least one {e new} tuple,
+    which is the classical work saving measured by experiment E18. *)
+
+module Tuple = Fmtk_structure.Tuple
+module Structure = Fmtk_structure.Structure
+
+(** A database instance: predicate name → tuples. *)
+module Db : sig
+  type t
+
+  val empty : t
+  val add : string -> Tuple.Set.t -> t -> t
+  val find : t -> string -> Tuple.Set.t
+  (** Empty set for unknown predicates. *)
+
+  val preds : t -> string list
+
+  (** EDB view of a structure: one predicate per relation, plus the unary
+      ["adom"] (needed to make rules like [sg(x,x) :- adom(x)] safe). *)
+  val of_structure : Structure.t -> t
+end
+
+(** Work counters: fixpoint iterations and environment extensions performed
+    during joins. *)
+type stats = { iterations : int; join_work : int }
+
+(** [naive program db] — the minimal model (IDB ∪ EDB) plus stats.
+    @raise Invalid_argument if a rule is not range-restricted or the
+    program is not stratifiable. *)
+val naive : Ast.program -> Db.t -> Db.t * stats
+
+(** Semi-naive (differential) evaluation; same result, less join work. *)
+val seminaive : Ast.program -> Db.t -> Db.t * stats
+
+(** Convenience: run a program against a structure and read one predicate
+    off the result ([strategy] defaults to semi-naive). *)
+val run :
+  ?strategy:[ `Naive | `Seminaive ] ->
+  Ast.program ->
+  Structure.t ->
+  pred:string ->
+  Tuple.Set.t

@@ -1,0 +1,57 @@
+module Tuple = Fmtk_structure.Tuple
+module Structure = Fmtk_structure.Structure
+open Ast
+
+let atom pred args = { pred; args }
+let x = V "x"
+let y = V "y"
+let z = V "z"
+
+let transitive_closure =
+  [
+    { head = atom "tc" [ x; y ]; body = [ Pos (atom "E" [ x; y ]) ] };
+    {
+      head = atom "tc" [ x; y ];
+      body = [ Pos (atom "tc" [ x; z ]); Pos (atom "E" [ z; y ]) ];
+    };
+  ]
+
+let same_generation =
+  [
+    { head = atom "sg" [ x; x ]; body = [ Pos (atom "adom" [ x ]) ] };
+    {
+      head = atom "sg" [ x; y ];
+      body =
+        [
+          Pos (atom "E" [ V "xp"; x ]);
+          Pos (atom "E" [ V "yp"; y ]);
+          Pos (atom "sg" [ V "xp"; V "yp" ]);
+        ];
+    };
+  ]
+
+let non_edge =
+  [
+    {
+      head = atom "nonedge" [ x; y ];
+      body =
+        [ Pos (atom "adom" [ x ]); Pos (atom "adom" [ y ]); Neg (atom "E" [ x; y ]) ];
+    };
+  ]
+
+let unreachable =
+  transitive_closure
+  @ [
+      {
+        head = atom "unreach" [ x; y ];
+        body =
+          [
+            Pos (atom "adom" [ x ]);
+            Pos (atom "adom" [ y ]);
+            Neg (atom "tc" [ x; y ]);
+          ];
+      };
+    ]
+
+let tc_of s = Engine.run transitive_closure s ~pred:"tc"
+let sg_of s = Engine.run same_generation s ~pred:"sg"

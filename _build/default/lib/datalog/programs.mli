@@ -1,0 +1,27 @@
+(** The canonical Datalog programs of the paper. *)
+
+module Tuple = Fmtk_structure.Tuple
+module Structure = Fmtk_structure.Structure
+
+(** Transitive closure of the edge relation:
+    {v tc(x,y) :- E(x,y).  tc(x,y) :- tc(x,z), E(z,y). v} *)
+val transitive_closure : Ast.program
+
+(** Same generation (slide: §3.4):
+    {v sg(x,x) :- adom(x).
+       sg(x,y) :- E(xp,x), E(yp,y), sg(xp,yp). v} *)
+val same_generation : Ast.program
+
+(** Complement of the edge relation over the active domain — a stratified
+    program with negation:
+    {v nonedge(x,y) :- adom(x), adom(y), !E(x,y). v} *)
+val non_edge : Ast.program
+
+(** Unreachable pairs: stratified negation over recursion —
+    {v unreach(x,y) :- adom(x), adom(y), !tc(x,y). v} (with the tc rules) *)
+val unreachable : Ast.program
+
+(** Run helpers (semi-naive). *)
+val tc_of : Structure.t -> Tuple.Set.t
+
+val sg_of : Structure.t -> Tuple.Set.t

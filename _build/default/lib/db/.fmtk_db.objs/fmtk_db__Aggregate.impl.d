@@ -1,0 +1,1 @@
+lib/db/aggregate.ml: Array Fmtk_structure Hashtbl List Printf Relation

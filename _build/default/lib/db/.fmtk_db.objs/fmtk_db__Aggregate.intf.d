@@ -1,0 +1,1 @@
+lib/db/aggregate.mli: Relation

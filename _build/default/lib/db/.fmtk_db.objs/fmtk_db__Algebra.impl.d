@@ -1,0 +1,1 @@
+lib/db/algebra.ml: Fmtk_logic Fmtk_structure Format List Map Printf Relation String

@@ -1,0 +1,1 @@
+lib/db/algebra.mli: Fmtk_structure Format Relation

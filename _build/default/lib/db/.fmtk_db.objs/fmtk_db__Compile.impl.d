@@ -1,0 +1,1 @@
+lib/db/compile.ml: Algebra Database Fmtk_logic Fmtk_structure Hashtbl List Printf Relation Set String

@@ -1,0 +1,1 @@
+lib/db/compile.mli: Algebra Fmtk_logic Fmtk_structure

@@ -1,0 +1,1 @@
+lib/db/relation.ml: Array Fmtk_structure Format Hashtbl List Printf String

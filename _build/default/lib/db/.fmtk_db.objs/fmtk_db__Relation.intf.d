@@ -1,0 +1,1 @@
+lib/db/relation.mli: Fmtk_structure Format

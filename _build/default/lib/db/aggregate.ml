@@ -1,0 +1,58 @@
+module Tuple = Fmtk_structure.Tuple
+
+type op = Count | Sum of string | Min of string | Max of string
+
+let position attrs name =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Aggregate: no attribute %S" name)
+    | a :: _ when a = name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 attrs
+
+let group_by r ~keys ~op ~into =
+  let attrs = Relation.attrs r in
+  if List.mem into attrs || List.mem into keys then
+    invalid_arg (Printf.sprintf "Aggregate: output column %S clashes" into);
+  let key_pos = List.map (position attrs) keys in
+  let value_pos =
+    match op with
+    | Count -> None
+    | Sum a | Min a | Max a -> Some (position attrs a)
+  in
+  (* Group rows by key projection. *)
+  let groups : (int list, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  Tuple.Set.iter
+    (fun tup ->
+      let key = List.map (fun i -> tup.(i)) key_pos in
+      let value = match value_pos with Some i -> tup.(i) | None -> 1 in
+      match Hashtbl.find_opt groups key with
+      | Some cell -> cell := value :: !cell
+      | None -> Hashtbl.add groups key (ref [ value ]))
+    (Relation.tuples r);
+  let fold values =
+    match op with
+    | Count -> List.length values
+    | Sum _ -> List.fold_left ( + ) 0 values
+    | Min _ -> List.fold_left min max_int values
+    | Max _ -> List.fold_left max min_int values
+  in
+  let rows =
+    Hashtbl.fold
+      (fun key cell acc -> Array.of_list (key @ [ fold !cell ]) :: acc)
+      groups []
+  in
+  let rows =
+    (* Global aggregate of an empty relation: COUNT is 0; the others have
+       no identity element over the bare domain. *)
+    if rows = [] && keys = [] then
+      match op with
+      | Count -> [ [| 0 |] ]
+      | Sum _ | Min _ | Max _ ->
+          invalid_arg "Aggregate: Sum/Min/Max of an empty relation"
+    else rows
+  in
+  Relation.make (keys @ [ into ]) rows
+
+let having r ~attr ~pred =
+  Relation.select (fun lookup -> pred (lookup attr)) r

@@ -1,0 +1,21 @@
+(** SQL-style aggregation over relations — the database operation the
+    survey's aggregate-operators discussion is about. Domain elements
+    double as the integers being aggregated. *)
+
+type op =
+  | Count  (** rows per group *)
+  | Sum of string  (** sum of an attribute *)
+  | Min of string
+  | Max of string
+
+(** [group_by r ~keys ~op ~into] groups [r] by the [keys] attributes and
+    appends one aggregated column named [into]. With [keys = []] the
+    result is a single row (the global aggregate); an empty input with
+    [keys = []] yields one row with Count = 0 and raises for Sum/Min/Max
+    (no rows to fold).
+    @raise Invalid_argument on unknown attributes or name clashes. *)
+val group_by :
+  Relation.t -> keys:string list -> op:op -> into:string -> Relation.t
+
+(** [having r ~attr ~pred] — filter on an (aggregated) column. *)
+val having : Relation.t -> attr:string -> pred:(int -> bool) -> Relation.t

@@ -1,0 +1,44 @@
+(** Relational algebra: syntax and evaluation over a database instance.
+
+    A database instance maps relation names to {!Relation.t}; the instance
+    obtained from a structure also contains the unary relation ["adom"]
+    holding the whole domain (so compiled FO queries agree with natural
+    semantics) and one singleton relation ["@c"] per constant [c]. *)
+
+type pred =
+  | Eq_attr of string * string
+  | Eq_const of string * int
+  | Not_p of pred
+  | And_p of pred * pred
+  | Or_p of pred * pred
+
+type expr =
+  | Base of string  (** named relation of the instance *)
+  | Lit of Relation.t  (** literal relation *)
+  | Select of pred * expr
+  | Project of string list * expr
+  | Rename of (string * string) list * expr
+  | Join of expr * expr  (** natural join (= product when disjoint) *)
+  | Union of expr * expr
+  | Diff of expr * expr
+
+module Database : sig
+  type t
+
+  val make : (string * Relation.t) list -> t
+  val find : t -> string -> Relation.t
+
+  (** View a finite structure as a database instance: each relation [R/k]
+      becomes a table with attributes [#1..#k], plus ["adom"] (attribute
+      [#1]) and per-constant singletons ["@c"]. *)
+  val of_structure : Fmtk_structure.Structure.t -> t
+end
+
+(** Evaluate an expression bottom-up.
+    @raise Invalid_argument on unknown base relations or schema errors. *)
+val eval : Database.t -> expr -> Relation.t
+
+(** Number of operator nodes in the expression. *)
+val size : expr -> int
+
+val pp : Format.formatter -> expr -> unit

@@ -1,0 +1,33 @@
+(** Compilation of first-order queries to relational algebra.
+
+    This implements the classical equivalence behind "FOL as a query
+    language": every FO formula translates to an algebra expression over the
+    database view of a structure. Because the instance's ["adom"] table
+    holds the {e whole} domain, the compiled query agrees exactly with the
+    natural (Tarski) semantics implemented by {!Fmtk_eval.Eval} — this is
+    cross-checked by tests and experiment E6. *)
+
+module Formula = Fmtk_logic.Formula
+
+(** [compile f] produces an expression whose attributes are the free
+    variables of [f] (a sentence compiles to a nullary relation: nonempty =
+    true).
+    @raise Invalid_argument on formulas mentioning arity-inconsistent
+    relations. *)
+val compile : Formula.t -> Algebra.expr
+
+(** [answers s f] evaluates the compiled query against [s]; returns the free
+    variables (in {!Formula.free_vars} order) and the answer tuples. *)
+val answers :
+  Fmtk_structure.Structure.t ->
+  Formula.t ->
+  string list * Fmtk_structure.Tuple.Set.t
+
+(** [sat s f] for sentences: true iff the compiled nullary answer is
+    nonempty. *)
+val sat : Fmtk_structure.Structure.t -> Formula.t -> bool
+
+(** Textbook safe-range test (via safe-range normal form). Safe-range
+    queries are exactly those whose answers are guaranteed independent of
+    the domain beyond the active domain. *)
+val safe_range : Formula.t -> bool

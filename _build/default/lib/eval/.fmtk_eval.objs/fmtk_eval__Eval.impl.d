@@ -1,0 +1,1 @@
+lib/eval/eval.ml: Array Fmtk_logic Fmtk_structure List Printf String

@@ -1,0 +1,1 @@
+lib/eval/eval.mli: Fmtk_logic Fmtk_structure

@@ -1,0 +1,1 @@
+lib/eval/spectrum.ml: Eval Fmtk_logic Fmtk_structure Fun List Printf Seq String

@@ -1,0 +1,1 @@
+lib/eval/spectrum.mli: Fmtk_logic Fmtk_structure Seq

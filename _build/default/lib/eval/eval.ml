@@ -1,0 +1,110 @@
+module Formula = Fmtk_logic.Formula
+module Term = Fmtk_logic.Term
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+
+type stats = { mutable atom_checks : int; mutable quantifier_steps : int }
+
+let new_stats () = { atom_checks = 0; quantifier_steps = 0 }
+
+type env = (string * int) list
+
+let empty_env = []
+let bind x e env = (x, e) :: env
+let lookup env x = List.assoc_opt x env
+
+let eval_term a env = function
+  | Term.Var x -> (
+      match lookup env x with
+      | Some e -> e
+      | None -> invalid_arg (Printf.sprintf "Eval: unbound variable %S" x))
+  | Term.Const c -> (
+      match Structure.const a c with
+      | e -> e
+      | exception Not_found ->
+          invalid_arg (Printf.sprintf "Eval: uninterpreted constant %S" c))
+
+let holds ?stats a f ~env =
+  let bump_atom () =
+    match stats with Some s -> s.atom_checks <- s.atom_checks + 1 | None -> ()
+  in
+  let bump_quant () =
+    match stats with
+    | Some s -> s.quantifier_steps <- s.quantifier_steps + 1
+    | None -> ()
+  in
+  let n = Structure.size a in
+  let rec go env f =
+    match f with
+    | Formula.True -> true
+    | Formula.False -> false
+    | Formula.Eq (t, u) ->
+        bump_atom ();
+        eval_term a env t = eval_term a env u
+    | Formula.Rel (r, ts) -> (
+        bump_atom ();
+        let tup = Array.of_list (List.map (eval_term a env) ts) in
+        match Structure.mem a r tup with
+        | b -> b
+        | exception Not_found ->
+            invalid_arg (Printf.sprintf "Eval: unknown relation %S" r))
+    | Formula.Not g -> not (go env g)
+    | Formula.And (g, h) -> go env g && go env h
+    | Formula.Or (g, h) -> go env g || go env h
+    | Formula.Implies (g, h) -> (not (go env g)) || go env h
+    | Formula.Iff (g, h) -> go env g = go env h
+    | Formula.Exists (x, g) ->
+        let rec scan e =
+          if e >= n then false
+          else (
+            bump_quant ();
+            go (bind x e env) g || scan (e + 1))
+        in
+        scan 0
+    | Formula.Forall (x, g) ->
+        let rec scan e =
+          if e >= n then true
+          else (
+            bump_quant ();
+            go (bind x e env) g && scan (e + 1))
+        in
+        scan 0
+  in
+  go env f
+
+let sat ?stats a f =
+  (match Formula.free_vars f with
+  | [] -> ()
+  | fv ->
+      invalid_arg
+        (Printf.sprintf "Eval.sat: not a sentence (free: %s)"
+           (String.concat ", " fv)));
+  holds ?stats a f ~env:empty_env
+
+let definable_relation ?stats a f ~vars =
+  let fv = Formula.free_vars f in
+  List.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        invalid_arg
+          (Printf.sprintf "Eval.definable_relation: free variable %S not listed" x))
+    fv;
+  let n = Structure.size a in
+  let k = List.length vars in
+  let acc = ref Tuple.Set.empty in
+  let tup = Array.make k 0 in
+  let rec enum i env =
+    if i = k then (
+      if holds ?stats a f ~env then acc := Tuple.Set.add (Array.copy tup) !acc)
+    else
+      for e = 0 to n - 1 do
+        tup.(i) <- e;
+        enum (i + 1) (bind (List.nth vars i) e env)
+      done
+  in
+  enum 0 empty_env;
+  !acc
+
+let answers ?stats a f =
+  let vars = Formula.free_vars f in
+  (vars, definable_relation ?stats a f ~vars)

@@ -1,0 +1,38 @@
+(** Finite satisfiability by exhaustive model search, and spectra.
+
+    Trakhtenbrot's theorem (slide 5) says finite satisfiability of FO is
+    undecidable — there is no computable bound on the size of a minimal
+    model. What {e is} computable is satisfiability up to a given size,
+    by enumerating all structures; the set of model sizes found is an
+    initial segment of the sentence's {e spectrum}. The enumeration is
+    [2^(#tuples)] per size, so keep sizes tiny (≤ 4 for one binary
+    relation). *)
+
+module Formula = Fmtk_logic.Formula
+module Structure = Fmtk_structure.Structure
+
+(** [models ~signature ~size phi] — lazily enumerate all structures of the
+    given size over the signature that satisfy the sentence. Constants in
+    the signature are not supported. *)
+val models :
+  signature:Fmtk_logic.Signature.t ->
+  size:int ->
+  Formula.t ->
+  Structure.t Seq.t
+
+(** [satisfiable_at ~signature ~size phi]. *)
+val satisfiable_at :
+  signature:Fmtk_logic.Signature.t -> size:int -> Formula.t -> bool
+
+(** [find_model ~signature ~up_to phi] — smallest model, searching sizes
+    [0..up_to]. *)
+val find_model :
+  signature:Fmtk_logic.Signature.t ->
+  up_to:int ->
+  Formula.t ->
+  Structure.t option
+
+(** [spectrum ~signature ~up_to phi] — the sizes in [0..up_to] at which
+    [phi] has a model. *)
+val spectrum :
+  signature:Fmtk_logic.Signature.t -> up_to:int -> Formula.t -> int list

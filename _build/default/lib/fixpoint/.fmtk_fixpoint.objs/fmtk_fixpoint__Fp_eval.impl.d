@@ -1,0 +1,1 @@
+lib/fixpoint/fp_eval.ml: Array Fmtk_logic Fmtk_structure Fp_formula Hashtbl List Printf Seq String

@@ -1,0 +1,1 @@
+lib/fixpoint/fp_eval.mli: Fmtk_structure Fp_formula

@@ -1,0 +1,1 @@
+lib/fixpoint/fp_formula.ml: Fmtk_logic Format List String

@@ -1,0 +1,1 @@
+lib/fixpoint/fp_formula.mli: Fmtk_logic Format

@@ -1,0 +1,35 @@
+(** Model checking for FO(IFP).
+
+    Each fixpoint is computed bottom-up: stage [S_{i+1} = S_i ∪ {ā |
+    body(S_i, ā)}] until stable (at most [n^k] stages, each scanning
+    [n^k] candidate tuples — polynomial data complexity, in contrast to
+    the PSPACE combined complexity of plain FO with the formula as input). *)
+
+module Structure = Fmtk_structure.Structure
+
+(** Work counters: total fixpoint stages computed, and candidate tuples
+    tested across all stages. *)
+type stats = { mutable stages : int; mutable tuples_tested : int }
+
+val new_stats : unit -> stats
+
+(** [sat ?stats s phi] for FO(IFP) sentences.
+    @raise Invalid_argument on free variables or unknown relations. *)
+val sat : ?stats:stats -> Structure.t -> Fp_formula.t -> bool
+
+(** [holds ?stats s phi ~env] for open formulas. *)
+val holds :
+  ?stats:stats ->
+  Structure.t ->
+  Fp_formula.t ->
+  env:(string * int) list ->
+  bool
+
+(** [answers ?stats s phi ~vars] — the answer tuples of an open FO(IFP)
+    formula over the listed variables. *)
+val answers :
+  ?stats:stats ->
+  Structure.t ->
+  Fp_formula.t ->
+  vars:string list ->
+  Fmtk_structure.Tuple.Set.t

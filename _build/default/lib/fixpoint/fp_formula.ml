@@ -1,0 +1,152 @@
+module Term = Fmtk_logic.Term
+module Formula = Fmtk_logic.Formula
+
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t
+  | Rel of string * Term.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string * t
+  | Forall of string * t
+  | Ifp of string * string list * t * Term.t list
+
+let rec of_fo = function
+  | Formula.True -> True
+  | Formula.False -> False
+  | Formula.Eq (a, b) -> Eq (a, b)
+  | Formula.Rel (r, ts) -> Rel (r, ts)
+  | Formula.Not f -> Not (of_fo f)
+  | Formula.And (f, g) -> And (of_fo f, of_fo g)
+  | Formula.Or (f, g) -> Or (of_fo f, of_fo g)
+  | Formula.Implies (f, g) -> Implies (of_fo f, of_fo g)
+  | Formula.Iff (f, g) ->
+      And (Implies (of_fo f, of_fo g), Implies (of_fo g, of_fo f))
+  | Formula.Exists (x, f) -> Exists (x, of_fo f)
+  | Formula.Forall (x, f) -> Forall (x, of_fo f)
+
+let add_name acc x = if List.mem x acc then acc else acc @ [ x ]
+
+let free_vars f =
+  let rec go bound acc = function
+    | True | False -> acc
+    | Eq (a, b) ->
+        List.fold_left
+          (fun acc x -> if List.mem x bound then acc else add_name acc x)
+          acc
+          (Term.vars a @ Term.vars b)
+    | Rel (_, ts) ->
+        List.fold_left
+          (fun acc x -> if List.mem x bound then acc else add_name acc x)
+          acc
+          (List.concat_map Term.vars ts)
+    | Not f -> go bound acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) -> go bound (go bound acc f) g
+    | Exists (x, f) | Forall (x, f) -> go (x :: bound) acc f
+    | Ifp (_, vars, body, args) ->
+        let acc = go (vars @ bound) acc body in
+        List.fold_left
+          (fun acc x -> if List.mem x bound then acc else add_name acc x)
+          acc
+          (List.concat_map Term.vars args)
+  in
+  go [] [] f
+
+let positive_in r f =
+  (* polarity: true = positive context *)
+  let rec go pol = function
+    | True | False | Eq _ -> true
+    | Rel (r', _) -> (not (String.equal r r')) || pol
+    | Not f -> go (not pol) f
+    | And (f, g) | Or (f, g) -> go pol f && go pol g
+    | Implies (f, g) -> go (not pol) f && go pol g
+    | Exists (_, f) | Forall (_, f) -> go pol f
+    | Ifp (r', vars, body, _) ->
+        ignore vars;
+        (* Occurrences of [r] inside an inner fixpoint that rebinds [r]
+           don't count. *)
+        if String.equal r r' then true else go pol body
+  in
+  go true f
+
+let rec ifp_depth = function
+  | True | False | Eq _ | Rel _ -> 0
+  | Not f | Exists (_, f) | Forall (_, f) -> ifp_depth f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> max (ifp_depth f) (ifp_depth g)
+  | Ifp (_, _, body, _) -> 1 + ifp_depth body
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Eq (a, b) -> Format.fprintf ppf "%a = %a" Term.pp a Term.pp b
+  | Rel (r, ts) ->
+      Format.fprintf ppf "%s(%a)" r
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Term.pp)
+        ts
+  | Not f -> Format.fprintf ppf "!(%a)" pp f
+  | And (f, g) -> Format.fprintf ppf "(%a & %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(%a | %a)" pp f pp g
+  | Implies (f, g) -> Format.fprintf ppf "(%a -> %a)" pp f pp g
+  | Exists (x, f) -> Format.fprintf ppf "exists %s. %a" x pp f
+  | Forall (x, f) -> Format.fprintf ppf "forall %s. %a" x pp f
+  | Ifp (r, vars, body, args) ->
+      Format.fprintf ppf "[IFP %s(%s). %a](%a)" r (String.concat "," vars) pp
+        body
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Term.pp)
+        args
+
+let to_string f = Format.asprintf "%a" pp f
+
+(* ---- canonical definitions ---- *)
+
+let v x = Term.Var x
+
+let tc_body =
+  Or
+    ( Rel ("E", [ v "x"; v "y" ]),
+      Exists ("z", And (Rel ("T", [ v "x"; v "z" ]), Rel ("E", [ v "z"; v "y" ]))) )
+
+let transitive_closure = Ifp ("T", [ "x"; "y" ], tc_body, [ v "u"; v "v" ])
+
+let connectivity =
+  (* Symmetric reachability: u reaches v following edges in either
+     direction; connected iff total. *)
+  let step a b =
+    Or (Rel ("E", [ v a; v b ]), Rel ("E", [ v b; v a ]))
+  in
+  let body =
+    Or
+      ( Or (Eq (v "x", v "y"), step "x" "y"),
+        Exists ("z", And (Rel ("R", [ v "x"; v "z" ]), step "z" "y")) )
+  in
+  Forall
+    ("u", Forall ("v", Ifp ("R", [ "x"; "y" ], body, [ v "u"; v "v" ])))
+
+let even_on_orders =
+  (* odd(x): x is at an odd position of the order — the first element, or
+     two successor steps above an odd position. succ is definable from lt.
+     Size is even iff the last element is not at an odd position. *)
+  let lt a b = Rel ("lt", [ v a; v b ]) in
+  let succ a b z = And (lt a b, Not (Exists (z, And (lt a z, lt z b)))) in
+  let first a z = Not (Exists (z, lt z a)) in
+  let last a z = Not (Exists (z, lt a z)) in
+  let odd_body =
+    Or
+      ( first "x" "w1",
+        Exists
+          ( "y",
+            And
+              ( Rel ("O", [ v "y" ]),
+                Exists ("m", And (succ "y" "m" "w2", succ "m" "x" "w3")) ) ) )
+  in
+  Forall
+    ( "l",
+      Implies
+        (last "l" "w4", Not (Ifp ("O", [ "x" ], odd_body, [ v "l" ]))) )

@@ -1,0 +1,1 @@
+lib/games/distinguish.ml: Array Fmtk_logic Fmtk_structure List Option Printf

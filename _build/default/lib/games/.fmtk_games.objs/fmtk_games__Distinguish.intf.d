@@ -1,0 +1,1 @@
+lib/games/distinguish.mli: Fmtk_logic Fmtk_structure

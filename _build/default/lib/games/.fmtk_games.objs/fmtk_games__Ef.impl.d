@@ -1,0 +1,1 @@
+lib/games/ef.ml: Array Fmtk_structure Hashtbl List

@@ -1,0 +1,1 @@
+lib/games/ef.mli: Fmtk_structure

@@ -1,0 +1,1 @@
+lib/games/pebble.ml: Fmtk_structure Hashtbl List

@@ -1,0 +1,1 @@
+lib/games/pebble.mli: Fmtk_structure

@@ -1,0 +1,1 @@
+lib/games/strategy.ml: Fmtk_structure List Option Random

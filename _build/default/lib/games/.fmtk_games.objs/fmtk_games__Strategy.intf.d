@@ -1,0 +1,1 @@
+lib/games/strategy.mli: Fmtk_structure Random

@@ -1,0 +1,118 @@
+module Structure = Fmtk_structure.Structure
+module Signature = Fmtk_logic.Signature
+module Formula = Fmtk_logic.Formula
+module Term = Fmtk_logic.Term
+module Transform = Fmtk_logic.Transform
+
+let pebble_var i = Printf.sprintf "x%d" i
+
+(* Terms available at a position: one variable per played pebble plus the
+   constants shared by both structures; with their values in each. *)
+let position_terms a b pairs =
+  let pebbles =
+    List.mapi
+      (fun i (x, y) -> (Term.Var (pebble_var (i + 1)), x, y))
+      pairs
+  in
+  let consts =
+    List.filter_map
+      (fun c ->
+        if Signature.mem_const (Structure.signature b) c then
+          Some (Term.Const c, Structure.const a c, Structure.const b c)
+        else None)
+      (Signature.consts (Structure.signature a))
+  in
+  pebbles @ consts
+
+(* A literal of quantifier rank 0 over the pebble variables on which the two
+   sides of the position disagree, if any. *)
+let discrepant_literal a b pairs =
+  let terms = position_terms a b pairs in
+  let lit atom in_a = if in_a then atom else Formula.Not atom in
+  (* Equalities. *)
+  let eq_found =
+    List.find_map
+      (fun (t1, va1, vb1) ->
+        List.find_map
+          (fun (t2, va2, vb2) ->
+            let ea = va1 = va2 and eb = vb1 = vb2 in
+            if ea <> eb then Some (lit (Formula.Eq (t1, t2)) ea) else None)
+          terms)
+      terms
+  in
+  match eq_found with
+  | Some _ as r -> r
+  | None ->
+      (* Relation atoms over all term tuples. *)
+      let rec tuples k =
+        if k = 0 then [ [] ]
+        else
+          List.concat_map
+            (fun rest -> List.map (fun t -> t :: rest) terms)
+            (tuples (k - 1))
+      in
+      List.find_map
+        (fun (rname, k) ->
+          if not (Signature.mem_rel (Structure.signature b) rname) then None
+          else
+            List.find_map
+              (fun tup ->
+                let ta = Array.of_list (List.map (fun (_, va, _) -> va) tup) in
+                let tb = Array.of_list (List.map (fun (_, _, vb) -> vb) tup) in
+                let in_a = Structure.mem a rname ta in
+                if in_a <> Structure.mem b rname tb then
+                  Some
+                    (lit
+                       (Formula.Rel (rname, List.map (fun (t, _, _) -> t) tup))
+                       in_a)
+                else None)
+              (tuples k))
+        (Signature.rels (Structure.signature a))
+
+let dedupe fs =
+  List.fold_left (fun acc f -> if List.mem f acc then acc else f :: acc) [] fs
+  |> List.rev
+
+let formula ~rounds a b pairs =
+  if rounds < 0 then invalid_arg "Distinguish: negative round count";
+  let dom_a = Structure.domain a and dom_b = Structure.domain b in
+  let rec go n pairs =
+    match discrepant_literal a b pairs with
+    | Some lit -> Some lit
+    | None ->
+        if n = 0 then None
+        else
+          let xvar = pebble_var (List.length pairs + 1) in
+          (* A winning spoiler move in A gives an existential witness. *)
+          let via_a =
+            List.find_map
+              (fun x ->
+                let subs =
+                  List.map (fun y -> go (n - 1) (pairs @ [ (x, y) ])) dom_b
+                in
+                if List.for_all Option.is_some subs then
+                  Some
+                    (Formula.exists xvar
+                       (Formula.conj (dedupe (List.map Option.get subs))))
+                else None)
+              dom_a
+          in
+          (match via_a with
+          | Some _ as r -> r
+          | None ->
+              (* A winning spoiler move in B gives a universal witness. *)
+              List.find_map
+                (fun y ->
+                  let subs =
+                    List.map (fun x -> go (n - 1) (pairs @ [ (x, y) ])) dom_a
+                  in
+                  if List.for_all Option.is_some subs then
+                    Some
+                      (Formula.forall xvar
+                         (Formula.disj (dedupe (List.map Option.get subs))))
+                  else None)
+                dom_b)
+  in
+  Option.map Transform.simplify (go rounds pairs)
+
+let sentence ~rounds a b = formula ~rounds a b []

@@ -1,0 +1,68 @@
+module Structure = Fmtk_structure.Structure
+module Iso = Fmtk_structure.Iso
+
+type config = { memo : bool }
+
+let default_config = { memo = true }
+let positions_explored = ref 0
+let last_positions_explored () = !positions_explored
+
+(* Order-insensitive canonical form of a position. *)
+let canonical pairs = List.sort_uniq compare pairs
+
+let duplicator_wins_from ?(config = default_config) ~rounds a b start =
+  if rounds < 0 then invalid_arg "Ef: negative round count";
+  positions_explored := 0;
+  if not (Iso.partial_iso a b start) then false
+  else
+    let memo : (int * (int * int) list, bool) Hashtbl.t = Hashtbl.create 1024 in
+    let dom_a = Structure.domain a and dom_b = Structure.domain b in
+    (* Candidate ordering heuristic: try duplicator replies whose WL colour
+       matches the spoiler's element first — the good reply is usually found
+       immediately, which matters because [List.exists] short-circuits. *)
+    let colors_a, colors_b = Iso.wl_colors a b in
+    let ordered_replies spoiler_color dom colors =
+      let matching, rest =
+        List.partition (fun y -> colors.(y) = spoiler_color) dom
+      in
+      matching @ rest
+    in
+    let rec win n pairs =
+      if n = 0 then true
+      else
+        let key = (n, pairs) in
+        match if config.memo then Hashtbl.find_opt memo key else None with
+        | Some v -> v
+        | None ->
+            incr positions_explored;
+            let answer_in dom_reply colors_reply colors_pick other_first pick =
+              let replies =
+                ordered_replies colors_pick.(pick) dom_reply colors_reply
+              in
+              List.exists
+                (fun reply ->
+                  let x, y = if other_first then (reply, pick) else (pick, reply) in
+                  Iso.extension_ok a b pairs (x, y)
+                  && win (n - 1) (canonical ((x, y) :: pairs)))
+                replies
+            in
+            let spoiler_in_a =
+              List.for_all
+                (fun x -> answer_in dom_b colors_b colors_a false x)
+                dom_a
+            in
+            let v =
+              spoiler_in_a
+              && List.for_all
+                   (fun y -> answer_in dom_a colors_a colors_b true y)
+                   dom_b
+            in
+            if config.memo then Hashtbl.replace memo key v;
+            v
+    in
+    win rounds (canonical start)
+
+let duplicator_wins ?config ~rounds a b =
+  duplicator_wins_from ?config ~rounds a b []
+
+let equiv ?config ~rank a b = duplicator_wins ?config ~rounds:rank a b

@@ -1,0 +1,44 @@
+(** Ehrenfeucht–Fraïssé games (slides 36–43).
+
+    [G_n(A,B)] is the n-round game: the spoiler picks a structure and an
+    element, the duplicator answers in the other structure; after [n] rounds
+    the duplicator wins iff the chosen pairs form a partial isomorphism.
+    The central fact (slide 43): the duplicator has a winning strategy in
+    [G_n(A,B)] iff [A ≡n B] (agreement on all sentences of quantifier
+    rank ≤ n).
+
+    The solver below decides winning exactly (complete back-and-forth
+    search) and is exponential in [n] — use it for the small instances
+    where the paper's proofs need certification, and the closed-form
+    strategies of {!Strategy} for unbounded parameters. *)
+
+module Structure = Fmtk_structure.Structure
+
+(** Solver configuration. [memo] (default true) caches game positions,
+    keyed by the played pairs (order-insensitive); the ablation bench
+    disables it. *)
+type config = { memo : bool }
+
+val default_config : config
+
+(** [duplicator_wins ?config ~rounds a b] decides whether the duplicator
+    has a winning strategy in the [rounds]-round EF game on [(a, b)],
+    starting from the empty position (constants act as pre-played pebbles). *)
+val duplicator_wins : ?config:config -> rounds:int -> Structure.t -> Structure.t -> bool
+
+(** Like {!duplicator_wins} but starting from a given position
+    [(a_i, b_i) …] of already-played pebble pairs. Returns [false] if the
+    starting position is not a partial isomorphism. *)
+val duplicator_wins_from :
+  ?config:config ->
+  rounds:int ->
+  Structure.t ->
+  Structure.t ->
+  (int * int) list ->
+  bool
+
+(** [equiv ~rank a b] = [A ≡rank B]: duplicator wins the [rank]-round game. *)
+val equiv : ?config:config -> rank:int -> Structure.t -> Structure.t -> bool
+
+(** Number of positions explored by the last call (for the ablation bench). *)
+val last_positions_explored : unit -> int

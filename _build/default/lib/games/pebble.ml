@@ -1,0 +1,52 @@
+module Structure = Fmtk_structure.Structure
+module Iso = Fmtk_structure.Iso
+
+let duplicator_wins ~pebbles ~rounds a b =
+  if pebbles <= 0 then invalid_arg "Pebble: need at least one pebble";
+  if rounds < 0 then invalid_arg "Pebble: negative round count";
+  if not (Iso.partial_iso a b []) then false
+  else
+    let memo : (int * (int * int) list, bool) Hashtbl.t = Hashtbl.create 256 in
+    let dom_a = Structure.domain a and dom_b = Structure.domain b in
+    let canonical pairs = List.sort_uniq compare pairs in
+    (* Positions a spoiler move can start from: keep all pebbles, or lift
+       one (mandatory when every pebble is on the board). *)
+    let rec remove_one = function
+      | [] -> []
+      | p :: rest -> rest :: List.map (fun r -> p :: r) (remove_one rest)
+    in
+    let rec win n pairs =
+      if n = 0 then true
+      else
+        let key = (n, pairs) in
+        match Hashtbl.find_opt memo key with
+        | Some v -> v
+        | None ->
+            let bases =
+              let lifted = List.map canonical (remove_one pairs) in
+              if List.length pairs < pebbles then pairs :: lifted else lifted
+            in
+            let duplicator_survives base (side_is_a, e) =
+              let replies = match side_is_a with true -> dom_b | false -> dom_a in
+              List.exists
+                (fun r ->
+                  let pair = if side_is_a then (e, r) else (r, e) in
+                  let next = canonical (pair :: base) in
+                  Iso.partial_iso a b next && win (n - 1) next)
+                replies
+            in
+            let moves =
+              List.map (fun e -> (true, e)) dom_a
+              @ List.map (fun e -> (false, e)) dom_b
+            in
+            let v =
+              List.for_all
+                (fun base -> List.for_all (duplicator_survives base) moves)
+                (List.sort_uniq compare bases)
+            in
+            Hashtbl.replace memo key v;
+            v
+    in
+    win rounds []
+
+let equiv_fo_k ~k ~rank a b = duplicator_wins ~pebbles:k ~rounds:rank a b

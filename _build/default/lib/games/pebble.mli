@@ -1,0 +1,21 @@
+(** k-pebble games: the Ehrenfeucht–Fraïssé game for the finite-variable
+    fragment FO^k.
+
+    Each player owns [k] pebble pairs; in each round the spoiler picks a
+    pebble (possibly one already on the board, moving it) and places it on
+    an element of one structure, and the duplicator places the twin pebble
+    in the other structure. The duplicator survives a round if the pebbled
+    pairs form a partial isomorphism. Duplicator wins the [rounds]-round
+    game iff the structures agree on all FO^k sentences of quantifier rank
+    ≤ rounds. *)
+
+module Structure = Fmtk_structure.Structure
+
+(** [duplicator_wins ~pebbles ~rounds a b] decides the game exactly
+    (memoized search; exponential in [rounds], use on small instances). *)
+val duplicator_wins :
+  pebbles:int -> rounds:int -> Structure.t -> Structure.t -> bool
+
+(** [equiv_fo_k ~k ~rank a b]: agreement on FO^k up to quantifier rank
+    [rank] — [duplicator_wins ~pebbles:k ~rounds:rank]. *)
+val equiv_fo_k : k:int -> rank:int -> Structure.t -> Structure.t -> bool

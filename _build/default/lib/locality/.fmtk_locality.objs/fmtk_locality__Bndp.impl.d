@@ -1,0 +1,1 @@
+lib/locality/bndp.ml: Fmtk_logic Fmtk_structure Hashtbl List Option

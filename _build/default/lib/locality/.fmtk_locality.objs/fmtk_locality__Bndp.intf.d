@@ -1,0 +1,1 @@
+lib/locality/bndp.mli: Fmtk_structure

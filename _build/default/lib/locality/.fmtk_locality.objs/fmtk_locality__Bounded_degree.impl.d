@@ -1,0 +1,1 @@
+lib/locality/bounded_degree.ml: Fmtk_eval Fmtk_logic Fmtk_structure Gaifman Hanf Hashtbl List Neighborhood Option Printf

@@ -1,0 +1,1 @@
+lib/locality/bounded_degree.mli: Fmtk_logic Fmtk_structure

@@ -1,0 +1,1 @@
+lib/locality/gaifman.ml: Array Fmtk_logic Fmtk_structure Hashtbl Int List Printf Queue

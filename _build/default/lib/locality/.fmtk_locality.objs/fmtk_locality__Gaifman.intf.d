@@ -1,0 +1,1 @@
+lib/locality/gaifman.mli: Fmtk_structure

@@ -1,0 +1,1 @@
+lib/locality/gaifman_local.ml: Array Fmtk_structure Gaifman Hashtbl List Neighborhood Seq

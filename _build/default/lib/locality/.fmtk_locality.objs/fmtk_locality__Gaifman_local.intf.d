@@ -1,0 +1,1 @@
+lib/locality/gaifman_local.mli: Fmtk_structure

@@ -1,0 +1,1 @@
+lib/locality/hanf.ml: Array Fmtk_structure Gaifman Hashtbl List Neighborhood Option Seq

@@ -1,0 +1,1 @@
+lib/locality/hanf.mli: Fmtk_structure

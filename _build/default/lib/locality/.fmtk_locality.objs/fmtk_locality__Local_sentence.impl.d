@@ -1,0 +1,1 @@
+lib/locality/local_sentence.ml: Array Fmtk_eval Fmtk_logic Fmtk_structure Gaifman List Printf String

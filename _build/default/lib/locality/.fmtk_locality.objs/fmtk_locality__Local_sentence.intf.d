@@ -1,0 +1,1 @@
+lib/locality/local_sentence.mli: Fmtk_logic Fmtk_structure

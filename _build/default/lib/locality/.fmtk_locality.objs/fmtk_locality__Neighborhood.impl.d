@@ -1,0 +1,1 @@
+lib/locality/neighborhood.ml: Array Fmtk_logic Fmtk_structure Fun Gaifman Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/locality/neighborhood.mli: Fmtk_structure

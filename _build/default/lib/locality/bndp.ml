@@ -1,0 +1,47 @@
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+module Graph = Fmtk_structure.Graph
+module Signature = Fmtk_logic.Signature
+
+type query = Structure.t -> Tuple.Set.t
+
+let output_structure q t =
+  Structure.make Signature.graph ~size:(Structure.size t)
+    [ ("E", Tuple.Set.elements (q t)) ]
+
+let output_degree_count q t =
+  List.length (Graph.degree_set (output_structure q t))
+
+let input_degree t =
+  (* Degree in the BNDP sense: max in/out degree over all binary relations
+     (the experiments use graphs, where this is just max degree of E). *)
+  List.fold_left
+    (fun acc (name, k) ->
+      if k = 2 then max acc (Graph.max_degree ~rel:name t) else acc)
+    0
+    (Signature.rels (Structure.signature t))
+
+let profile q family =
+  List.map (fun t -> (input_degree t, output_degree_count q t)) family
+
+let bounded q family =
+  let prof = profile q family in
+  (* Group output counts by input degree bound. *)
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (k, c) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups k) in
+      Hashtbl.replace groups k (c :: cur))
+    prof;
+  Hashtbl.fold
+    (fun _ counts acc ->
+      acc
+      &&
+      (* Within one degree bound, the spread of output counts must not keep
+         growing: all counts equal to the last (largest-input) count once
+         the family stabilizes. We use a simple proxy: max/min ratio ≤ 2
+         or all values equal. *)
+      let mx = List.fold_left max 0 counts
+      and mn = List.fold_left min max_int counts in
+      mx = mn || mx <= 2 * mn)
+    groups true

@@ -1,0 +1,31 @@
+(** The Bounded Number of Degrees Property (Definition 3.3 / Theorem 3.4).
+
+    A binary query [Q] has the BNDP if there is [f : ℕ → ℕ] such that on
+    any graph of degree ≤ k, the output [Q(G)] realizes at most [f(k)]
+    distinct in/out-degrees. Every FO query has it; fixed-point queries
+    (transitive closure, same-generation) spectacularly fail it — each
+    fixpoint stage typically creates a new degree (slide 55). *)
+
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+
+(** A binary graph query: edges of the output graph. *)
+type query = Structure.t -> Tuple.Set.t
+
+(** Number of distinct in/out-degrees realized by [q]'s output on [t]. *)
+val output_degree_count : query -> Structure.t -> int
+
+(** [profile q family] pairs each input with
+    [(max input degree, output degree count)] — the raw data of the BNDP
+    experiment (E9). *)
+val profile : query -> Structure.t list -> (int * int) list
+
+(** [bounded q family] — [true] iff over the inputs of the family the
+    output degree count is bounded by a function of the input degree bound:
+    concretely, for every two inputs with the same max degree the output
+    counts may differ, but the count must not grow with the {e size} of
+    same-degree inputs. The check: group by input degree bound, and within
+    each group require the output count to be constant once input size
+    exceeds the largest output count (a finite-sample proxy for the BNDP,
+    exact on the monotone families used in the experiments). *)
+val bounded : query -> Structure.t list -> bool

@@ -1,0 +1,84 @@
+module Structure = Fmtk_structure.Structure
+module Signature = Fmtk_logic.Signature
+module Tuple = Fmtk_structure.Tuple
+module Graph = Fmtk_structure.Graph
+
+let adjacency t =
+  let n = Structure.size t in
+  let sets = Array.init n (fun _ -> Hashtbl.create 4) in
+  List.iter
+    (fun (name, _) ->
+      Tuple.Set.iter
+        (fun tup ->
+          Array.iter
+            (fun u ->
+              Array.iter
+                (fun v -> if u <> v then Hashtbl.replace sets.(u) v ())
+                tup)
+            tup)
+        (Structure.rel t name))
+    (Signature.rels (Structure.signature t));
+  Array.map
+    (fun h -> List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) h []))
+    sets
+
+let distance t u v =
+  let adj = adjacency t in
+  (Graph.bfs ~adj [ u ]).(v)
+
+let ball_adj ~adj r tuple =
+  (* Depth-limited BFS touching only the ball itself. *)
+  let dist = Hashtbl.create 16 in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem dist s) then (
+        Hashtbl.add dist s 0;
+        Queue.add s q))
+    tuple;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let du = Hashtbl.find dist u in
+    if du < r then
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem dist v) then (
+            Hashtbl.add dist v (du + 1);
+            Queue.add v q))
+        adj.(u)
+  done;
+  List.sort Int.compare (Hashtbl.fold (fun e _ acc -> e :: acc) dist [])
+
+let ball t r tuple = ball_adj ~adj:(adjacency t) r tuple
+
+let neighborhood ?adj t r tuple =
+  let adj = match adj with Some a -> a | None -> adjacency t in
+  let elems = ball_adj ~adj r tuple in
+  let sub, embed = Structure.induced t elems in
+  (* Position of each distinguished element inside the renumbered domain. *)
+  let new_of_old o =
+    let rec go i =
+      if i >= Array.length embed then
+        invalid_arg "Gaifman.neighborhood: pinned element missing from ball"
+      else if embed.(i) = o then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let pins =
+    List.mapi (fun i o -> (Printf.sprintf "@p%d" (i + 1), new_of_old o)) tuple
+  in
+  Structure.expand_consts sub pins
+
+let diameter t =
+  let adj = adjacency t in
+  let n = Structure.size t in
+  let best = ref 0 in
+  for u = 0 to n - 1 do
+    let dist = Graph.bfs ~adj [ u ] in
+    Array.iter (fun d -> if d < max_int && d > !best then best := d) dist
+  done;
+  !best
+
+let degree t =
+  Array.fold_left (fun acc l -> max acc (List.length l)) 0 (adjacency t)

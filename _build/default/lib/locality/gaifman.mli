@@ -1,0 +1,38 @@
+(** Gaifman graphs, distances, balls and neighborhoods (slides 56–57).
+
+    The Gaifman graph of a structure connects two elements iff they co-occur
+    in some tuple of some relation. Distances, balls [B_r(ā)] and
+    [r]-neighborhoods [N_r(ā)] (the substructure induced by the ball, with
+    [ā] distinguished) are all relative to it. *)
+
+module Structure = Fmtk_structure.Structure
+
+(** Adjacency lists of the Gaifman graph. *)
+val adjacency : Structure.t -> int list array
+
+(** [distance t u v] — Gaifman distance; [max_int] when disconnected. *)
+val distance : Structure.t -> int -> int -> int
+
+(** Depth-limited BFS ball over a precomputed adjacency: elements within
+    distance [r] of the tuple, sorted. Cost is proportional to the ball,
+    not the whole graph — this is what makes the bounded-degree census of
+    Theorem 3.11 linear-time. *)
+val ball_adj : adj:int list array -> int -> int list -> int list
+
+(** [ball t r tuple] = [B_r(ā)]: elements within distance [r] of some
+    element of [tuple], sorted. *)
+val ball : Structure.t -> int -> int list -> int list
+
+(** [neighborhood ?adj t r tuple] = [N_r(ā)]: the substructure induced by
+    [ball t r tuple] with the elements of [tuple] pinned as fresh constants
+    ["@p1", "@p2", …] — so {!Fmtk_structure.Iso.isomorphic} on
+    neighborhoods respects distinguished tuples, as required by
+    Definition 3.5. Pass a precomputed [adj] when calling in a loop. *)
+val neighborhood :
+  ?adj:int list array -> Structure.t -> int -> int list -> Structure.t
+
+(** [diameter t] — largest finite pairwise distance (0 for empty). *)
+val diameter : Structure.t -> int
+
+(** [degree t] — maximum Gaifman-graph degree. *)
+val degree : Structure.t -> int

@@ -1,0 +1,28 @@
+(** Gaifman locality of m-ary queries (Definition 3.5 / Theorem 3.6).
+
+    A query [Q] is Gaifman-local with radius [r] if on every structure,
+    tuples with isomorphic r-neighborhoods are not distinguished by [Q].
+    The tester below searches one structure exhaustively for a violating
+    pair of tuples — the canonical refutation of FO-definability for the
+    transitive-closure query uses exactly such a pair on a long chain
+    (slide 58). *)
+
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+
+(** A semantic m-ary query: the set of answer tuples on a structure. *)
+type query = Structure.t -> Tuple.Set.t
+
+(** [violation ~arity ~radius q t] finds tuples [ā, b̄] over [t] with
+    [N_radius(ā) ≅ N_radius(b̄)] but [ā ∈ Q(t) ⇎ b̄ ∈ Q(t)], if any.
+    Exhaustive over all [n^arity] tuples — use small structures. *)
+val violation :
+  arity:int -> radius:int -> query -> Structure.t -> (int list * int list) option
+
+(** [holds_on ~arity ~radius q ts] — no violation on any structure in the
+    list. *)
+val holds_on : arity:int -> radius:int -> query -> Structure.t list -> bool
+
+(** Sufficient Gaifman radius for an FO query of quantifier rank [q]:
+    [(7^q - 1) / 2] (Gaifman's theorem bound). *)
+val fo_radius : rank:int -> int

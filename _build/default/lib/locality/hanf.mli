@@ -1,0 +1,65 @@
+(** Hanf locality (Definition 3.7 / Theorem 3.8) and its threshold variant
+    (Theorem 3.10).
+
+    [G ⇆r G'] iff there is a bijection [f] between the domains such that
+    every [a] has [N_r(a) ≅ N_r(f(a))] — equivalently, iff the two
+    radius-[r] neighborhood-type censuses coincide. [G ⇆*m,r G'] relaxes
+    equality of counts to "equal, or both at least [m]". *)
+
+module Structure = Fmtk_structure.Structure
+
+(** [equiv ~radius g g'] decides [G ⇆radius G']. Requires equal sizes
+    (a bijection must exist). *)
+val equiv : radius:int -> Structure.t -> Structure.t -> bool
+
+(** [threshold_equiv ~threshold ~radius g g'] decides [G ⇆*threshold,radius
+    G'] — sizes may differ. *)
+val threshold_equiv :
+  threshold:int -> radius:int -> Structure.t -> Structure.t -> bool
+
+(** {1 The m-ary extension (Hella–Libkin, the paper's reference [21])}
+
+    For tuples: [(G, ā) ⇆r (G', b̄)] iff there is a bijection [f] with
+    [N_r(ā, c) ≅ N_r(b̄, f(c))] for every [c] — equivalently, the censuses
+    of pointed [(m+1)]-tuple neighborhood types coincide. An m-ary query is
+    Hanf-local when such pairs are never distinguished. *)
+
+(** [equiv_pointed ~radius (g, ā) (g', b̄)] — the tuple-extended relation.
+    Requires equal sizes. *)
+val equiv_pointed :
+  radius:int ->
+  Structure.t * int list ->
+  Structure.t * int list ->
+  bool
+
+(** [mary_violation ~radius query (g, g')] searches for tuples [ā] over [g]
+    and [b̄] over [g'] with [(g,ā) ⇆r (g',b̄)] yet exactly one in its
+    query answer. [arity] bounds the tuple length; exhaustive over
+    [n^arity] pairs of tuples grouped by census, so keep structures small. *)
+val mary_violation :
+  arity:int ->
+  radius:int ->
+  (Structure.t -> Fmtk_structure.Tuple.Set.t) ->
+  Structure.t * Structure.t ->
+  (int list * int list) option
+
+(** [hanf_local_violation ~radius query gs] searches the list of structure
+    pairs for [(g, g')] with [g ⇆radius g'] but [query g ≠ query g'] —
+    a witness that [query] is not Hanf-local with that radius. *)
+val hanf_local_violation :
+  radius:int ->
+  (Structure.t -> bool) ->
+  (Structure.t * Structure.t) list ->
+  (Structure.t * Structure.t) option
+
+(** Sufficient Hanf parameters for FO sentences of quantifier rank [q] over
+    structures of Gaifman degree ≤ [degree] (Theorem 3.10 / Hanf's
+    theorem, Fagin–Stockmeyer–Vardi bounds):
+    radius [(3^q - 1) / 2] and threshold [q · s + 1] where [s] bounds the
+    size of a radius ball. Any larger threshold remains sound. *)
+val fo_radius : rank:int -> int
+
+val fo_threshold : rank:int -> degree:int -> int
+
+(** Upper bound on [|B_r(a)|] in a graph of degree ≤ [degree]. *)
+val max_ball_size : degree:int -> radius:int -> int

@@ -1,0 +1,37 @@
+(** r-local formulas and Gaifman's basic local sentences (Theorem 3.12).
+
+    A formula [φ(x)] is r-local when all its quantifiers are relativized to
+    the radius-r ball of [x]; a {e basic local sentence} asserts a
+    scattered sequence: [∃x1..xn (⋀ φ(xi) ∧ ⋀ d(xi,xj) > 2r)].
+    Gaifman's theorem: every FO sentence is a Boolean combination of basic
+    local sentences. This module evaluates both forms directly (the local
+    formula is evaluated {e inside} the neighborhood substructure, which is
+    exactly the semantics of relativized quantification). *)
+
+module Structure = Fmtk_structure.Structure
+module Formula = Fmtk_logic.Formula
+
+(** [holds_locally t ~radius ~formula a]: does [N_radius(a) ⊨ φ(a)]?
+    [formula] must have exactly one free variable named ["x"]; inside the
+    neighborhood the distinguished element is the pinned constant. *)
+val holds_locally :
+  Structure.t -> radius:int -> formula:Formula.t -> int -> bool
+
+(** A basic local sentence [∃x1..x_count (⋀ φ(xi) ∧ pairwise distance >
+    2·radius)]. *)
+type basic = { count : int; radius : int; formula : Formula.t }
+
+(** Evaluate a basic local sentence: find [count] elements, pairwise at
+    Gaifman distance > [2·radius], whose local formula holds (backtracking
+    over the locally-satisfying candidates). *)
+val eval_basic : Structure.t -> basic -> bool
+
+(** Positive Boolean combinations of basic local sentences with negation —
+    the normal form of Theorem 3.12. *)
+type combination =
+  | Basic of basic
+  | Neg of combination
+  | Conj of combination * combination
+  | Disj of combination * combination
+
+val eval_combination : Structure.t -> combination -> bool

@@ -1,0 +1,143 @@
+module Structure = Fmtk_structure.Structure
+module Signature = Fmtk_logic.Signature
+module Tuple = Fmtk_structure.Tuple
+module Iso = Fmtk_structure.Iso
+
+type registry = {
+  bucketing : bool;
+  (* invariant key -> type ids sharing it *)
+  buckets : (string, int list ref) Hashtbl.t;
+  mutable reps : Structure.t list; (* newest first *)
+  mutable count : int;
+  mutable iso_tests : int;
+}
+
+let create_registry ?(bucketing = true) () =
+  { bucketing; buckets = Hashtbl.create 64; reps = []; count = 0; iso_tests = 0 }
+
+let registry_size reg = reg.count
+let iso_tests reg = reg.iso_tests
+
+let representative reg id =
+  if id < 0 || id >= reg.count then invalid_arg "Neighborhood: bad type id";
+  (* reps is newest-first: id i lives at position count-1-i. *)
+  List.nth reg.reps (reg.count - 1 - id)
+
+let register reg nb =
+  let id = reg.count in
+  reg.reps <- nb :: reg.reps;
+  reg.count <- id + 1;
+  id
+
+let type_id reg nb =
+  let matches candidate_ids =
+    List.find_opt
+      (fun id ->
+        reg.iso_tests <- reg.iso_tests + 1;
+        Iso.isomorphic (representative reg id) nb)
+      candidate_ids
+  in
+  if reg.bucketing then (
+    let key = Iso.invariant_key nb in
+    let bucket =
+      match Hashtbl.find_opt reg.buckets key with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.add reg.buckets key b;
+          b
+    in
+    match matches !bucket with
+    | Some id -> id
+    | None ->
+        let id = register reg nb in
+        bucket := id :: !bucket;
+        id)
+  else
+    match matches (List.init reg.count Fun.id) with
+    | Some id -> id
+    | None -> register reg nb
+
+(* Per-element incidence index: the tuples each element occurs in. Makes
+   one-element neighborhood extraction cost proportional to the ball, not
+   the whole structure — the census over all elements is then linear for
+   fixed radius and degree (the requirement of Theorem 3.11). *)
+let incidence_index t =
+  let incident = Array.make (Structure.size t) [] in
+  List.iter
+    (fun (rname, _) ->
+      Tuple.Set.iter
+        (fun tup ->
+          let seen = ref [] in
+          Array.iter
+            (fun e ->
+              if not (List.mem e !seen) then begin
+                seen := e :: !seen;
+                incident.(e) <- (rname, tup) :: incident.(e)
+              end)
+            tup)
+        (Structure.rel t rname))
+    (Signature.rels (Structure.signature t));
+  incident
+
+let neighborhood_of ~sg ~incident ~ball ~pinned =
+  let in_ball = Hashtbl.create 16 in
+  List.iteri (fun i e -> Hashtbl.add in_ball e i) ball;
+  let per_rel = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (rname, tup) ->
+          if Array.for_all (Hashtbl.mem in_ball) tup then begin
+            let renamed = Array.map (Hashtbl.find in_ball) tup in
+            let set =
+              Option.value ~default:Tuple.Set.empty
+                (Hashtbl.find_opt per_rel rname)
+            in
+            Hashtbl.replace per_rel rname (Tuple.Set.add renamed set)
+          end)
+        incident.(e))
+    ball;
+  let rels =
+    List.map
+      (fun (rname, _) ->
+        ( rname,
+          Tuple.Set.elements
+            (Option.value ~default:Tuple.Set.empty
+               (Hashtbl.find_opt per_rel rname)) ))
+      (Signature.rels sg)
+  in
+  let nb =
+    Structure.make
+      (Signature.make (Signature.rels sg))
+      ~size:(List.length ball) rels
+  in
+  Structure.expand_consts nb [ ("@p1", Hashtbl.find in_ball pinned) ]
+
+let element_types reg t ~radius =
+  let adj = Gaifman.adjacency t in
+  let sg = Structure.signature t in
+  if Signature.consts sg <> [] then
+    (* Constants would need per-ball re-interpretation; use the generic
+       (whole-structure) extraction. *)
+    Array.of_list
+      (List.map
+         (fun e -> type_id reg (Gaifman.neighborhood ~adj t radius [ e ]))
+         (Structure.domain t))
+  else
+    let incident = incidence_index t in
+    Array.of_list
+      (List.map
+         (fun e ->
+           let ball = Gaifman.ball_adj ~adj radius [ e ] in
+           type_id reg (neighborhood_of ~sg ~incident ~ball ~pinned:e))
+         (Structure.domain t))
+
+let census reg t ~radius =
+  let types = element_types reg t ~radius in
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun id ->
+      Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+    types;
+  List.sort compare (Hashtbl.fold (fun id c acc -> (id, c) :: acc) counts [])

@@ -1,0 +1,35 @@
+(** Isomorphism types of neighborhoods and their censuses.
+
+    A {e census} counts, for each isomorphism type τ of an r-neighborhood,
+    how many elements of a structure realize τ — the object both Hanf
+    relations ([⇆r] and [⇆*m,r], slides 59 and Theorem 3.10) compare. *)
+
+module Structure = Fmtk_structure.Structure
+
+(** A registry of neighborhood types: representatives discovered so far.
+    Types are matched by invariant-key bucketing followed by exact
+    isomorphism (the ablation bench disables the bucketing). *)
+type registry
+
+val create_registry : ?bucketing:bool -> unit -> registry
+
+(** Number of distinct types registered. *)
+val registry_size : registry -> int
+
+(** [type_id reg nb] returns the id of [nb]'s isomorphism type, registering
+    a new type if unseen. *)
+val type_id : registry -> Structure.t -> int
+
+(** Representative structure of a type id. *)
+val representative : registry -> int -> Structure.t
+
+(** [element_types reg t ~radius] assigns to every element of [t] the type
+    id of its radius-[radius] neighborhood. *)
+val element_types : registry -> Structure.t -> radius:int -> int array
+
+(** [census reg t ~radius] is the census as a sorted association list
+    [type id ↦ count] (only realized types listed). *)
+val census : registry -> Structure.t -> radius:int -> (int * int) list
+
+(** Number of exact isomorphism tests performed so far (ablation metric). *)
+val iso_tests : registry -> int

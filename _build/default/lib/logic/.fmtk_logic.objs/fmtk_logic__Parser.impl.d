@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Formula List Printf String Term

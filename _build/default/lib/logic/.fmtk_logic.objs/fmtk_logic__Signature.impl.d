@@ -1,0 +1,1 @@
+lib/logic/signature.ml: Format List Printf String

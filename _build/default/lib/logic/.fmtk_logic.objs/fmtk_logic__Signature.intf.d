@@ -1,0 +1,1 @@
+lib/logic/signature.mli: Format

@@ -1,0 +1,1 @@
+lib/logic/transform.ml: Formula List Term

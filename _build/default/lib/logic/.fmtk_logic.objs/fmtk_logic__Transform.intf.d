@@ -1,0 +1,1 @@
+lib/logic/transform.mli: Formula

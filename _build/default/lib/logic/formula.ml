@@ -1,0 +1,204 @@
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t
+  | Rel of string * Term.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+let eq a b = Eq (a, b)
+let neq a b = Not (Eq (a, b))
+let rel r ts = Rel (r, ts)
+let not_ f = Not f
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let implies a b = Implies (a, b)
+let iff a b = Iff (a, b)
+let exists x f = Exists (x, f)
+let forall x f = Forall (x, f)
+let exists_many xs f = List.fold_right (fun x g -> Exists (x, g)) xs f
+let forall_many xs f = List.fold_right (fun x g -> Forall (x, g)) xs f
+let v x = Term.Var x
+let c x = Term.Const x
+
+let rec quantifier_rank = function
+  | True | False | Eq _ | Rel _ -> 0
+  | Not f -> quantifier_rank f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+      max (quantifier_rank f) (quantifier_rank g)
+  | Exists (_, f) | Forall (_, f) -> 1 + quantifier_rank f
+
+let rec size = function
+  | True | False | Eq _ | Rel _ -> 1
+  | Not f | Exists (_, f) | Forall (_, f) -> 1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> 1 + size f + size g
+
+(* Accumulate names in first-occurrence order without duplicates. *)
+let add_name acc x = if List.mem x acc then acc else acc @ [ x ]
+
+let free_vars f =
+  let rec go bound acc = function
+    | True | False -> acc
+    | Eq (a, b) ->
+        List.fold_left
+          (fun acc x -> if List.mem x bound then acc else add_name acc x)
+          acc
+          (Term.vars a @ Term.vars b)
+    | Rel (_, ts) ->
+        List.fold_left
+          (fun acc x -> if List.mem x bound then acc else add_name acc x)
+          acc
+          (List.concat_map Term.vars ts)
+    | Not f -> go bound acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+        go bound (go bound acc f) g
+    | Exists (x, f) | Forall (x, f) -> go (x :: bound) acc f
+  in
+  go [] [] f
+
+let all_vars f =
+  let rec go acc = function
+    | True | False -> acc
+    | Eq (a, b) -> List.fold_left add_name acc (Term.vars a @ Term.vars b)
+    | Rel (_, ts) -> List.fold_left add_name acc (List.concat_map Term.vars ts)
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> go (go acc f) g
+    | Exists (x, f) | Forall (x, f) -> go (add_name acc x) f
+  in
+  go [] f
+
+let is_sentence f = free_vars f = []
+
+let rels_used f =
+  let rec go acc = function
+    | True | False | Eq _ -> acc
+    | Rel (r, ts) ->
+        let entry = (r, List.length ts) in
+        if List.mem entry acc then acc else acc @ [ entry ]
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> go (go acc f) g
+    | Exists (_, f) | Forall (_, f) -> go acc f
+  in
+  go [] f
+
+let wf sg f =
+  let rec go = function
+    | True | False -> true
+    | Eq (a, b) -> Term.wf sg a && Term.wf sg b
+    | Rel (r, ts) ->
+        Signature.mem_rel sg r
+        && Signature.arity sg r = List.length ts
+        && List.for_all (Term.wf sg) ts
+    | Not f | Exists (_, f) | Forall (_, f) -> go f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> go f && go g
+  in
+  go f
+
+let fresh_var avoid base =
+  if not (List.mem base avoid) then base
+  else
+    let rec try_idx i =
+      let cand = Printf.sprintf "%s%d" base i in
+      if List.mem cand avoid then try_idx (i + 1) else cand
+    in
+    try_idx 0
+
+let rec subst x u f =
+  let sub_t = Term.subst x u in
+  match f with
+  | True | False -> f
+  | Eq (a, b) -> Eq (sub_t a, sub_t b)
+  | Rel (r, ts) -> Rel (r, List.map sub_t ts)
+  | Not g -> Not (subst x u g)
+  | And (g, h) -> And (subst x u g, subst x u h)
+  | Or (g, h) -> Or (subst x u g, subst x u h)
+  | Implies (g, h) -> Implies (subst x u g, subst x u h)
+  | Iff (g, h) -> Iff (subst x u g, subst x u h)
+  | Exists (y, g) -> subst_quant x u (fun (y, g) -> Exists (y, g)) (y, g)
+  | Forall (y, g) -> subst_quant x u (fun (y, g) -> Forall (y, g)) (y, g)
+
+and subst_quant x u mk (y, g) =
+  if String.equal y x then mk (y, g)
+  else if List.mem y (Term.vars u) then
+    (* Capture: rename the bound variable first. *)
+    let y' = fresh_var (Term.vars u @ all_vars g @ [ x ]) y in
+    mk (y', subst x u (subst y (Term.Var y') g))
+  else mk (y, subst x u g)
+
+let var_names n = List.init n (fun i -> Printf.sprintf "x%d" (i + 1))
+
+let ordered_pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs
+
+let at_least n =
+  if n <= 0 then True
+  else if n = 1 then Exists ("x1", True)
+  else
+    let xs = var_names n in
+    let distinct = List.map (fun (x, y) -> neq (v x) (v y)) (ordered_pairs xs) in
+    exists_many xs (conj distinct)
+
+let at_most n =
+  let xs = var_names (n + 1) in
+  let some_equal = List.map (fun (x, y) -> eq (v x) (v y)) (ordered_pairs xs) in
+  forall_many xs (disj some_equal)
+
+let exactly n = And (at_least n, at_most n)
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let rec pp ppf f =
+  match f with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Eq (a, b) -> Format.fprintf ppf "%a = %a" Term.pp a Term.pp b
+  | Not (Eq (a, b)) -> Format.fprintf ppf "%a != %a" Term.pp a Term.pp b
+  | Rel (r, ts) ->
+      Format.fprintf ppf "%s(%a)" r
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Term.pp)
+        ts
+  | Not f -> Format.fprintf ppf "!%a" pp_atomish f
+  | And (f, g) -> Format.fprintf ppf "%a & %a" pp_andish f pp_andish g
+  | Or (f, g) -> Format.fprintf ppf "%a | %a" pp_orish f pp_orish g
+  | Implies (f, g) -> Format.fprintf ppf "%a -> %a" pp_orish f pp_orish g
+  | Iff (f, g) -> Format.fprintf ppf "%a <-> %a" pp_orish f pp_orish g
+  | Exists (x, f) -> Format.fprintf ppf "exists %s. %a" x pp f
+  | Forall (x, f) -> Format.fprintf ppf "forall %s. %a" x pp f
+
+and pp_atomish ppf f =
+  match f with
+  | True | False | Eq _ | Rel _ | Not _ -> pp ppf f
+  | And _ | Or _ | Implies _ | Iff _ | Exists _ | Forall _ ->
+      Format.fprintf ppf "(%a)" pp f
+
+and pp_andish ppf f =
+  match f with
+  | True | False | Eq _ | Rel _ | Not _ | And _ -> pp ppf f
+  | Or _ | Implies _ | Iff _ | Exists _ | Forall _ ->
+      Format.fprintf ppf "(%a)" pp f
+
+and pp_orish ppf f =
+  match f with
+  | True | False | Eq _ | Rel _ | Not _ | And _ | Or _ -> pp ppf f
+  | Implies _ | Iff _ | Exists _ | Forall _ -> Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,103 @@
+(** First-order formulas over relational signatures.
+
+    The abstract syntax follows the paper: atoms are relation atoms and
+    equalities; connectives are the usual Booleans; quantifiers bind one
+    variable at a time. A {e sentence} is a formula without free variables;
+    a formula with free variables [x1..xn] induces an n-ary query
+    (slide 10). *)
+
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t
+  | Rel of string * Term.t list
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+(** {1 Smart constructors} *)
+
+val eq : Term.t -> Term.t -> t
+val neq : Term.t -> Term.t -> t
+val rel : string -> Term.t list -> t
+val not_ : t -> t
+
+(** n-ary conjunction; [conj [] = True]. *)
+val conj : t list -> t
+
+(** n-ary disjunction; [disj [] = False]. *)
+val disj : t list -> t
+
+val implies : t -> t -> t
+val iff : t -> t -> t
+val exists : string -> t -> t
+val forall : string -> t -> t
+
+(** [exists_many [x1;..;xk] f = ∃x1..∃xk f]. *)
+val exists_many : string list -> t -> t
+
+val forall_many : string list -> t -> t
+
+(** Shorthand for a variable term. *)
+val v : string -> Term.t
+
+(** Shorthand for a constant term. *)
+val c : string -> Term.t
+
+(** {1 Structural measures} *)
+
+(** Quantifier rank (slide 41): maximal nesting depth of quantifiers. *)
+val quantifier_rank : t -> int
+
+(** Number of connectives, quantifiers and atoms. *)
+val size : t -> int
+
+(** Free variables, each listed once, in first-occurrence order. *)
+val free_vars : t -> string list
+
+(** All variables (free and bound), each listed once. *)
+val all_vars : t -> string list
+
+(** [is_sentence f] holds iff [f] has no free variables. *)
+val is_sentence : t -> bool
+
+(** Relation symbols used, with the arity of each use. *)
+val rels_used : t -> (string * int) list
+
+(** [wf sg f] checks that every relation atom matches the arity declared in
+    [sg] and every constant is declared. *)
+val wf : Signature.t -> t -> bool
+
+(** {1 Substitution} *)
+
+(** [subst x u f] capture-avoidingly substitutes term [u] for the free
+    occurrences of variable [x] in [f]; bound variables are renamed with
+    {!fresh_var} when needed. *)
+val subst : string -> Term.t -> t -> t
+
+(** [fresh_var avoid base] is a variable name not in [avoid], derived from
+    [base]. *)
+val fresh_var : string list -> string -> string
+
+(** {1 Common sentences} *)
+
+(** [at_least n] = "the domain has at least [n] elements" — the falsifier
+    family λn of finite compactness (slide 29). Quantifier rank [n]. *)
+val at_least : int -> t
+
+(** [at_most n] = "the domain has at most [n] elements". *)
+val at_most : int -> t
+
+(** [exactly n] = "the domain has exactly [n] elements". *)
+val exactly : int -> t
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

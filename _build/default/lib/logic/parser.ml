@@ -1,0 +1,217 @@
+type token =
+  | IDENT of string
+  | CONST of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | LT
+  | BANG
+  | AMP
+  | BAR
+  | ARROW
+  | DARROW
+  | EOF
+
+exception Error of string
+
+let fail pos msg = raise (Error (Printf.sprintf "at %d: %s" pos msg))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let lex s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '.' -> emit DOT; go (i + 1)
+      | '=' -> emit EQ; go (i + 1)
+      | '&' -> emit AMP; go (i + 1)
+      | '|' -> emit BAR; go (i + 1)
+      | '~' -> emit BANG; go (i + 1)
+      | '!' ->
+          if i + 1 < n && s.[i + 1] = '=' then (emit NEQ; go (i + 2))
+          else (emit BANG; go (i + 1))
+      | '<' ->
+          if i + 2 < n && s.[i + 1] = '-' && s.[i + 2] = '>' then
+            (emit DARROW; go (i + 3))
+          else (emit LT; go (i + 1))
+      | '-' ->
+          if i + 1 < n && s.[i + 1] = '>' then (emit ARROW; go (i + 2))
+          else fail i "expected '->'"
+      | '\'' ->
+          let j = ref (i + 1) in
+          while !j < n && is_ident_char s.[!j] do incr j done;
+          if !j = i + 1 then fail i "empty constant name after '";
+          emit (CONST (String.sub s (i + 1) (!j - i - 1)));
+          go !j
+      | ch when is_ident_start ch ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do incr j done;
+          emit (IDENT (String.sub s i (!j - i)));
+          go !j
+      | ch -> fail i (Printf.sprintf "unexpected character %C" ch)
+  in
+  go 0;
+  List.rev (EOF :: !toks)
+
+(* Recursive-descent parser over a mutable token cursor. *)
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st t what =
+  if peek st = t then advance st
+  else raise (Error (Printf.sprintf "expected %s" what))
+
+let rec parse_formula st = parse_iff st
+
+and parse_iff st =
+  let lhs = parse_imp st in
+  if peek st = DARROW then (
+    advance st;
+    let rhs = parse_iff st in
+    Formula.Iff (lhs, rhs))
+  else lhs
+
+and parse_imp st =
+  let lhs = parse_or st in
+  if peek st = ARROW then (
+    advance st;
+    let rhs = parse_imp st in
+    Formula.Implies (lhs, rhs))
+  else lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop acc =
+    if peek st = BAR then (
+      advance st;
+      loop (Formula.Or (acc, parse_and st)))
+    else acc
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec loop acc =
+    if peek st = AMP then (
+      advance st;
+      loop (Formula.And (acc, parse_unary st)))
+    else acc
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | BANG ->
+      advance st;
+      Formula.Not (parse_unary st)
+  | IDENT "exists" ->
+      advance st;
+      parse_binders st (fun x f -> Formula.Exists (x, f))
+  | IDENT "forall" ->
+      advance st;
+      parse_binders st (fun x f -> Formula.Forall (x, f))
+  | _ -> parse_atom st
+
+and parse_binders st mk =
+  let rec vars acc =
+    match peek st with
+    | IDENT x ->
+        advance st;
+        vars (x :: acc)
+    | DOT ->
+        advance st;
+        List.rev acc
+    | _ -> raise (Error "expected variable or '.' in quantifier")
+  in
+  let xs = vars [] in
+  if xs = [] then raise (Error "quantifier binds no variables");
+  let body = parse_unary_or_formula st in
+  List.fold_right mk xs body
+
+(* The body of a quantifier extends as far right as possible. *)
+and parse_unary_or_formula st = parse_formula st
+
+and parse_atom st =
+  match peek st with
+  | IDENT "true" ->
+      advance st;
+      Formula.True
+  | IDENT "false" ->
+      advance st;
+      Formula.False
+  | LPAREN ->
+      advance st;
+      let f = parse_formula st in
+      expect st RPAREN "')'";
+      f
+  | IDENT name -> (
+      advance st;
+      if peek st = LPAREN then (
+        advance st;
+        let args = parse_terms st in
+        expect st RPAREN "')'";
+        Formula.Rel (name, args))
+      else parse_term_tail st (Term.Var name))
+  | CONST name ->
+      advance st;
+      parse_term_tail st (Term.Const name)
+  | _ -> raise (Error "expected atom")
+
+and parse_term_tail st lhs =
+  match peek st with
+  | EQ ->
+      advance st;
+      Formula.Eq (lhs, parse_term st)
+  | NEQ ->
+      advance st;
+      Formula.Not (Formula.Eq (lhs, parse_term st))
+  | LT ->
+      advance st;
+      Formula.Rel ("lt", [ lhs; parse_term st ])
+  | _ -> raise (Error "expected '=', '!=' or '<' after term")
+
+and parse_term st =
+  match peek st with
+  | IDENT x ->
+      advance st;
+      Term.Var x
+  | CONST c ->
+      advance st;
+      Term.Const c
+  | _ -> raise (Error "expected term")
+
+and parse_terms st =
+  let t = parse_term st in
+  if peek st = COMMA then (
+    advance st;
+    t :: parse_terms st)
+  else [ t ]
+
+let parse s =
+  match
+    let st = { toks = lex s } in
+    let f = parse_formula st in
+    if peek st <> EOF then raise (Error "trailing input");
+    f
+  with
+  | f -> Ok f
+  | exception Error msg -> Error (Printf.sprintf "parse error in %S: %s" s msg)
+
+let parse_exn s =
+  match parse s with Ok f -> f | Error msg -> invalid_arg msg

@@ -1,0 +1,18 @@
+(** Concrete syntax for first-order formulas.
+
+    Grammar (precedence low to high): [<->], [->] (right-assoc), [|], [&],
+    [!], quantifiers, atoms.
+
+    {v
+      forall x. exists y. E(x,y) & !(x = y)
+      exists x y. x != y            (* multi-binder sugar *)
+      x < y                         (* sugar for lt(x,y) *)
+      'a = x                        (* constants are quoted *)
+    v} *)
+
+(** [parse s] parses a formula, returning a descriptive error message on
+    failure. *)
+val parse : string -> (Formula.t, string) result
+
+(** @raise Invalid_argument on parse error. *)
+val parse_exn : string -> Formula.t

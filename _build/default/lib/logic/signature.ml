@@ -1,0 +1,65 @@
+type t = { rels : (string * int) list; consts : string list }
+
+let check_dups what names =
+  let sorted = List.sort String.compare names in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Signature.make: duplicate %s %S" what a)
+        else go rest
+    | [] | [ _ ] -> ()
+  in
+  go sorted
+
+let make ?(consts = []) rels =
+  List.iter
+    (fun (r, k) ->
+      if k < 0 then
+        invalid_arg (Printf.sprintf "Signature.make: negative arity for %S" r))
+    rels;
+  check_dups "relation" (List.map fst rels);
+  check_dups "constant" consts;
+  { rels; consts }
+
+let empty = { rels = []; consts = [] }
+let graph = { rels = [ ("E", 2) ]; consts = [] }
+let order = { rels = [ ("lt", 2) ]; consts = [] }
+let arity sg r = List.assoc r sg.rels
+let mem_rel sg r = List.mem_assoc r sg.rels
+let mem_const sg c = List.mem c sg.consts
+let rels sg = sg.rels
+let consts sg = sg.consts
+
+let add_rel sg (r, k) =
+  match List.assoc_opt r sg.rels with
+  | Some k' when k' = k -> sg
+  | Some k' ->
+      invalid_arg
+        (Printf.sprintf "Signature.add_rel: %S has arity %d, not %d" r k' k)
+  | None -> { sg with rels = sg.rels @ [ (r, k) ] }
+
+let add_consts sg cs =
+  let fresh = List.filter (fun c -> not (List.mem c sg.consts)) cs in
+  check_dups "constant" fresh;
+  { sg with consts = sg.consts @ fresh }
+
+let union a b =
+  let merged = List.fold_left add_rel a b.rels in
+  add_consts merged b.consts
+
+let equal a b =
+  List.sort compare a.rels = List.sort compare b.rels
+  && List.sort compare a.consts = List.sort compare b.consts
+
+let pp ppf sg =
+  let pp_rel ppf (r, k) = Format.fprintf ppf "%s/%d" r k in
+  Format.fprintf ppf "{%a%s%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_rel)
+    sg.rels
+    (if sg.consts = [] then "" else "; ")
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_string)
+    sg.consts

@@ -1,0 +1,50 @@
+(** Relational signatures (vocabularies).
+
+    Following the paper's convention (slide 32), signatures are relational:
+    they contain relation symbols with fixed arities and constant symbols,
+    but no proper function symbols. *)
+
+type t
+
+(** [make ~rels ~consts] builds a signature from an association list of
+    relation symbols with their arities and a list of constant symbols.
+    @raise Invalid_argument on duplicate symbols or negative arities. *)
+val make : ?consts:string list -> (string * int) list -> t
+
+(** The empty signature (structures over it are bare sets). *)
+val empty : t
+
+(** Signature of directed graphs: one binary relation [E]. *)
+val graph : t
+
+(** Signature of linear orders: one binary relation [<] (named ["lt"]). *)
+val order : t
+
+(** [arity sg r] is the arity of relation [r].
+    @raise Not_found if [r] is not declared. *)
+val arity : t -> string -> int
+
+val mem_rel : t -> string -> bool
+val mem_const : t -> string -> bool
+
+(** Relation symbols with arities, in declaration order. *)
+val rels : t -> (string * int) list
+
+(** Constant symbols in declaration order. *)
+val consts : t -> string list
+
+(** [union a b] merges two signatures.
+    @raise Invalid_argument if a relation symbol occurs in both with
+    different arities. *)
+val union : t -> t -> t
+
+(** [add_consts sg cs] extends [sg] with fresh constant symbols (existing
+    ones are kept once). *)
+val add_consts : t -> string list -> t
+
+(** [add_rel sg (r, k)] extends [sg] with relation [r] of arity [k].
+    @raise Invalid_argument if [r] exists with a different arity. *)
+val add_rel : t -> string * int -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

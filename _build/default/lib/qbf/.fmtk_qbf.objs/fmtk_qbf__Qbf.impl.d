@@ -1,0 +1,1 @@
+lib/qbf/qbf.ml: Format Fun List Printf String

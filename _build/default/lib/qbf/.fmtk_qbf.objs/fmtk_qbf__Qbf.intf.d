@@ -1,0 +1,1 @@
+lib/qbf/qbf.mli: Format

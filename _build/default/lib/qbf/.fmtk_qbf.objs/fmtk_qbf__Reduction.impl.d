@@ -1,0 +1,1 @@
+lib/qbf/reduction.ml: Fmtk_eval Fmtk_logic Fmtk_structure Qbf

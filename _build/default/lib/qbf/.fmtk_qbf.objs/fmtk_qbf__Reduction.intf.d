@@ -1,0 +1,1 @@
+lib/qbf/reduction.mli: Fmtk_logic Fmtk_structure Qbf

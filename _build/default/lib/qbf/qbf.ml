@@ -1,0 +1,103 @@
+type t =
+  | Var of string
+  | True
+  | False
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+let free_vars q =
+  let add acc x = if List.mem x acc then acc else acc @ [ x ] in
+  let rec go bound acc = function
+    | Var x -> if List.mem x bound then acc else add acc x
+    | True | False -> acc
+    | Not q -> go bound acc q
+    | And (a, b) | Or (a, b) | Implies (a, b) -> go bound (go bound acc a) b
+    | Exists (x, q) | Forall (x, q) -> go (x :: bound) acc q
+  in
+  go [] [] q
+
+let is_closed q = free_vars q = []
+
+let eval env q =
+  let rec go env = function
+    | Var x -> (
+        match env x with
+        | v -> v
+        | exception Not_found ->
+            invalid_arg (Printf.sprintf "Qbf.eval: unbound variable %S" x))
+    | True -> true
+    | False -> false
+    | Not q -> not (go env q)
+    | And (a, b) -> go env a && go env b
+    | Or (a, b) -> go env a || go env b
+    | Implies (a, b) -> (not (go env a)) || go env b
+    | Exists (x, q) ->
+        go (fun y -> if y = x then true else env y) q
+        || go (fun y -> if y = x then false else env y) q
+    | Forall (x, q) ->
+        go (fun y -> if y = x then true else env y) q
+        && go (fun y -> if y = x then false else env y) q
+  in
+  go env q
+
+let solve q =
+  match free_vars q with
+  | [] -> eval (fun x -> raise (Invalid_argument x)) q
+  | fv ->
+      invalid_arg
+        (Printf.sprintf "Qbf.solve: free variables %s" (String.concat ", " fv))
+
+let rec quantifier_count = function
+  | Var _ | True | False -> 0
+  | Not q -> quantifier_count q
+  | And (a, b) | Or (a, b) | Implies (a, b) ->
+      quantifier_count a + quantifier_count b
+  | Exists (_, q) | Forall (_, q) -> 1 + quantifier_count q
+
+let rec pp ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Not q -> Format.fprintf ppf "!(%a)" pp q
+  | And (a, b) -> Format.fprintf ppf "(%a & %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp a pp b
+  | Implies (a, b) -> Format.fprintf ppf "(%a -> %a)" pp a pp b
+  | Exists (x, q) -> Format.fprintf ppf "exists %s. %a" x pp q
+  | Forall (x, q) -> Format.fprintf ppf "forall %s. %a" x pp q
+
+let conj = function [] -> True | q :: qs -> List.fold_left (fun a b -> And (a, b)) q qs
+let disj = function [] -> False | q :: qs -> List.fold_left (fun a b -> Or (a, b)) q qs
+
+let pigeonhole_valid n =
+  if n < 1 then invalid_arg "Qbf.pigeonhole_valid: need n >= 1";
+  let var i h = Printf.sprintf "p_%d_%d" i h in
+  let pigeons = List.init (n + 1) Fun.id and holes = List.init n Fun.id in
+  let everyone_placed =
+    conj
+      (List.map
+         (fun i -> disj (List.map (fun h -> Var (var i h)) holes))
+         pigeons)
+  in
+  let collision =
+    disj
+      (List.concat_map
+         (fun h ->
+           List.concat_map
+             (fun i ->
+               List.filter_map
+                 (fun j ->
+                   if j > i then Some (And (Var (var i h), Var (var j h)))
+                   else None)
+                 pigeons)
+             pigeons)
+         holes)
+  in
+  let body = Implies (everyone_placed, collision) in
+  List.fold_right
+    (fun i acc ->
+      List.fold_right (fun h acc -> Forall (var i h, acc)) holes acc)
+    pigeons body

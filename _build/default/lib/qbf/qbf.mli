@@ -1,0 +1,40 @@
+(** Quantified Boolean formulas — the canonical PSPACE-complete problem
+    (slide 17) used to show PSPACE-hardness of FO model checking.
+
+    The solver is the textbook polynomial-space recursion: quantifiers are
+    expanded one branch at a time, so space is linear in the formula while
+    time is exponential in the number of quantifiers. *)
+
+type t =
+  | Var of string
+  | True
+  | False
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+(** Propositional variables occurring free. *)
+val free_vars : t -> string list
+
+val is_closed : t -> bool
+
+(** [eval env q] — truth value under an assignment of the free variables.
+    @raise Invalid_argument on unbound variables. *)
+val eval : (string -> bool) -> t -> bool
+
+(** [solve q] decides a closed QBF.
+    @raise Invalid_argument if [q] has free variables. *)
+val solve : t -> bool
+
+(** Number of quantifiers (drives the solver's exponent). *)
+val quantifier_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** A closed QBF battery for tests and benches: [pigeonhole_qbf n] encodes
+    "for every assignment of n+1 pigeons to n holes, some hole has two
+    pigeons" as a valid ∀∃ sentence. *)
+val pigeonhole_valid : int -> t

@@ -1,0 +1,1 @@
+lib/so/so_eval.ml: Array Fmtk_logic Fmtk_structure List Printf So_formula String

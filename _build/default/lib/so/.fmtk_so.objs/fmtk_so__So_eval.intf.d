@@ -1,0 +1,1 @@
+lib/so/so_eval.mli: Fmtk_structure So_formula

@@ -1,0 +1,1 @@
+lib/so/so_formula.ml: Fmtk_logic Format List

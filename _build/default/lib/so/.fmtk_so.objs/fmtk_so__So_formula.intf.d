@@ -1,0 +1,1 @@
+lib/so/so_formula.mli: Fmtk_logic Format

@@ -1,0 +1,1 @@
+lib/so/so_queries.ml: Array Fmtk_logic Fmtk_structure List So_formula

@@ -1,0 +1,138 @@
+module Structure = Fmtk_structure.Structure
+module Term = Fmtk_logic.Term
+module Tuple = Fmtk_structure.Tuple
+
+type stats = { mutable set_candidates : int; mutable rel_candidates : int }
+
+let new_stats () = { set_candidates = 0; rel_candidates = 0 }
+
+type env = {
+  fo : (string * int) list;
+  sets : (string * bool array) list;
+  rels : (string * (int * Tuple.Set.t)) list;
+}
+
+let eval_term s env = function
+  | Term.Var x -> (
+      match List.assoc_opt x env.fo with
+      | Some e -> e
+      | None -> invalid_arg (Printf.sprintf "So_eval: unbound variable %S" x))
+  | Term.Const c -> (
+      match Structure.const s c with
+      | e -> e
+      | exception Not_found ->
+          invalid_arg (Printf.sprintf "So_eval: uninterpreted constant %S" c))
+
+(* Enumerate subsets of [0..n-1] as bool arrays, via an int counter. *)
+let subsets n f =
+  if n > 22 then
+    invalid_arg "So_eval: domain too large for set quantification (> 22)";
+  let arr = Array.make n false in
+  let rec go mask =
+    if mask >= 1 lsl n then false
+    else begin
+      for i = 0 to n - 1 do
+        arr.(i) <- mask land (1 lsl i) <> 0
+      done;
+      f arr || go (mask + 1)
+    end
+  in
+  go 0
+
+(* Enumerate arity-k relations over [0..n-1]. *)
+let relations n k f =
+  let cells = List.of_seq (Tuple.all n k) in
+  let m = List.length cells in
+  if m > 20 then
+    invalid_arg
+      (Printf.sprintf
+         "So_eval: %d^%d = %d cells is too large for relation quantification"
+         n k m);
+  let cells = Array.of_list cells in
+  let rec go mask =
+    if mask >= 1 lsl m then false
+    else
+      let set = ref Tuple.Set.empty in
+      let () =
+        for i = 0 to m - 1 do
+          if mask land (1 lsl i) <> 0 then set := Tuple.Set.add cells.(i) !set
+        done
+      in
+      f !set || go (mask + 1)
+  in
+  go 0
+
+let holds ?stats s phi ~env =
+  let bump_set () =
+    match stats with Some st -> st.set_candidates <- st.set_candidates + 1 | None -> ()
+  in
+  let bump_rel () =
+    match stats with Some st -> st.rel_candidates <- st.rel_candidates + 1 | None -> ()
+  in
+  let n = Structure.size s in
+  let rec go env f =
+    match f with
+    | So_formula.True -> true
+    | So_formula.False -> false
+    | So_formula.Eq (a, b) -> eval_term s env a = eval_term s env b
+    | So_formula.Mem (t, x) -> (
+        let e = eval_term s env t in
+        match List.assoc_opt x env.sets with
+        | Some member -> member.(e)
+        | None -> invalid_arg (Printf.sprintf "So_eval: unbound set variable %S" x))
+    | So_formula.Rel (r, ts) -> (
+        let tup = Array.of_list (List.map (eval_term s env) ts) in
+        match List.assoc_opt r env.rels with
+        | Some (arity, set) ->
+            if Array.length tup <> arity then
+              invalid_arg
+                (Printf.sprintf "So_eval: relation variable %S arity mismatch" r);
+            Tuple.Set.mem tup set
+        | None -> (
+            match Structure.mem s r tup with
+            | b -> b
+            | exception Not_found ->
+                invalid_arg (Printf.sprintf "So_eval: unknown relation %S" r)))
+    | So_formula.Not f -> not (go env f)
+    | So_formula.And (f, g) -> go env f && go env g
+    | So_formula.Or (f, g) -> go env f || go env g
+    | So_formula.Implies (f, g) -> (not (go env f)) || go env g
+    | So_formula.Iff (f, g) -> go env f = go env g
+    | So_formula.Exists (x, f) ->
+        let rec scan e =
+          e < n && (go { env with fo = (x, e) :: env.fo } f || scan (e + 1))
+        in
+        scan 0
+    | So_formula.Forall (x, f) ->
+        let rec scan e =
+          e >= n || (go { env with fo = (x, e) :: env.fo } f && scan (e + 1))
+        in
+        scan 0
+    | So_formula.Exists_set (x, f) ->
+        subsets n (fun arr ->
+            bump_set ();
+            go { env with sets = (x, Array.copy arr) :: env.sets } f)
+    | So_formula.Forall_set (x, f) ->
+        not
+          (subsets n (fun arr ->
+               bump_set ();
+               not (go { env with sets = (x, Array.copy arr) :: env.sets } f)))
+    | So_formula.Exists_rel (x, k, f) ->
+        relations n k (fun set ->
+            bump_rel ();
+            go { env with rels = (x, (k, set)) :: env.rels } f)
+    | So_formula.Forall_rel (x, k, f) ->
+        not
+          (relations n k (fun set ->
+               bump_rel ();
+               not (go { env with rels = (x, (k, set)) :: env.rels } f)))
+  in
+  go { fo = env; sets = []; rels = [] } phi
+
+let sat ?stats s phi =
+  (match So_formula.free_vars phi with
+  | [] -> ()
+  | fv ->
+      invalid_arg
+        (Printf.sprintf "So_eval.sat: free variables %s" (String.concat ", " fv)));
+  holds ?stats s phi ~env:[]

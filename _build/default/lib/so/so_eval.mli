@@ -1,0 +1,28 @@
+(** Model checking for second-order logic.
+
+    Set quantifiers enumerate the [2^n] subsets of the domain; arity-k
+    relation quantifiers enumerate the [2^(n^k)] relations. Both are
+    exact — use MSO on structures up to a few dozen elements and full SO
+    only on tiny ones (the exponent is the point: this is the
+    NP-/PH-flavoured expressiveness FO lacks). *)
+
+module Structure = Fmtk_structure.Structure
+
+(** Work counters: candidate sets/relations enumerated. *)
+type stats = { mutable set_candidates : int; mutable rel_candidates : int }
+
+val new_stats : unit -> stats
+
+(** [sat ?stats s phi] decides [s ⊨ phi] for a second-order sentence.
+    @raise Invalid_argument on free first-order variables, unknown
+    relations, or arity mismatches. *)
+val sat : ?stats:stats -> Structure.t -> So_formula.t -> bool
+
+(** [holds ?stats s phi ~env] with a first-order environment (pairs
+    variable/element) for open formulas. *)
+val holds :
+  ?stats:stats ->
+  Structure.t ->
+  So_formula.t ->
+  env:(string * int) list ->
+  bool

@@ -1,0 +1,1 @@
+lib/structure/gen.ml: Array Fmtk_logic List Random Seq Structure Tuple

@@ -1,0 +1,1 @@
+lib/structure/gen.mli: Fmtk_logic Random Structure

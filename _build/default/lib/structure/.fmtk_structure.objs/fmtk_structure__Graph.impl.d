@@ -1,0 +1,1 @@
+lib/structure/graph.ml: Array Fun Int List Queue Structure Tuple

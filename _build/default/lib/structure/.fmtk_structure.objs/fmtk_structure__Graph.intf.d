@@ -1,0 +1,1 @@
+lib/structure/graph.mli: Structure Tuple

@@ -1,0 +1,1 @@
+lib/structure/iso.ml: Array Buffer Digest Fmtk_logic Fun Hashtbl Int List Option Printf String Structure Tuple

@@ -1,0 +1,1 @@
+lib/structure/iso.mli: Structure

@@ -1,0 +1,1 @@
+lib/structure/structure.ml: Array Fmtk_logic Format Fun Hashtbl Int List Map Printf String Tuple

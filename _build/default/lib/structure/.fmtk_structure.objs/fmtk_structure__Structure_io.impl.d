@@ -1,0 +1,1 @@
+lib/structure/structure_io.ml: Array Buffer Fmtk_logic In_channel List Printf String Structure Tuple

@@ -1,0 +1,1 @@
+lib/structure/structure_io.mli: Structure

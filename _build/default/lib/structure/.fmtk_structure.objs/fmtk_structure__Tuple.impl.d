@@ -1,0 +1,1 @@
+lib/structure/tuple.ml: Array Format Int Seq Set

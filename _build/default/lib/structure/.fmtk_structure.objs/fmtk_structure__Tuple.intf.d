@@ -1,0 +1,1 @@
+lib/structure/tuple.mli: Format Seq Set

@@ -1,0 +1,122 @@
+module Signature = Fmtk_logic.Signature
+
+let set n = Structure.make Signature.empty ~size:n []
+
+let linear_order n =
+  let tuples = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      tuples := [| i; j |] :: !tuples
+    done
+  done;
+  Structure.make Signature.order ~size:n [ ("lt", !tuples) ]
+
+let successor n =
+  let tuples = List.init (max 0 (n - 1)) (fun i -> [| i; i + 1 |]) in
+  Structure.make Signature.graph ~size:n [ ("E", tuples) ]
+
+let path = successor
+
+let cycle n =
+  if n < 1 then invalid_arg "Gen.cycle: need n >= 1";
+  let tuples = List.init n (fun i -> [| i; (i + 1) mod n |]) in
+  Structure.make Signature.graph ~size:n [ ("E", tuples) ]
+
+let complete n =
+  let tuples = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then tuples := [| i; j |] :: !tuples
+    done
+  done;
+  Structure.make Signature.graph ~size:n [ ("E", !tuples) ]
+
+let binary_tree depth =
+  if depth < 0 then invalid_arg "Gen.binary_tree: negative depth";
+  let size = (1 lsl (depth + 1)) - 1 in
+  let tuples = ref [] in
+  (* Heap numbering: children of i are 2i+1 and 2i+2. *)
+  for i = 0 to size - 1 do
+    if (2 * i) + 1 < size then tuples := [| i; (2 * i) + 1 |] :: !tuples;
+    if (2 * i) + 2 < size then tuples := [| i; (2 * i) + 2 |] :: !tuples
+  done;
+  Structure.make Signature.graph ~size [ ("E", !tuples) ]
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Gen.grid: need positive dimensions";
+  let id x y = (y * w) + x in
+  let tuples = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then tuples := [| id x y; id (x + 1) y |] :: !tuples;
+      if y + 1 < h then tuples := [| id x y; id x (y + 1) |] :: !tuples
+    done
+  done;
+  Structure.make Signature.graph ~size:(w * h) [ ("E", !tuples) ]
+
+let union_of = function
+  | [] -> invalid_arg "Gen.union_of: empty list"
+  | g :: gs -> List.fold_left Structure.disjoint_union g gs
+
+let random_graph ~rng n p =
+  let tuples = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Random.State.float rng 1.0 < p then
+        tuples := [| i; j |] :: !tuples
+    done
+  done;
+  Structure.make Signature.graph ~size:n [ ("E", !tuples) ]
+
+let random_undirected_graph ~rng n p =
+  let tuples = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then
+        tuples := [| i; j |] :: [| j; i |] :: !tuples
+    done
+  done;
+  Structure.make Signature.graph ~size:n [ ("E", !tuples) ]
+
+let random_structure ~rng sg n =
+  let rels =
+    List.map
+      (fun (name, k) ->
+        let tuples =
+          Seq.filter (fun _ -> Random.State.bool rng) (Tuple.all n k)
+        in
+        (name, List.of_seq tuples))
+      (Signature.rels sg)
+  in
+  let consts =
+    List.map (fun c -> (c, Random.State.int rng (max 1 n))) (Signature.consts sg)
+  in
+  Structure.make sg ~size:n ~consts rels
+
+let bounded_degree_graph ~rng n d =
+  if d < 0 then invalid_arg "Gen.bounded_degree_graph: negative bound";
+  let deg = Array.make n 0 in
+  let tuples = ref [] in
+  (* Sample candidate pairs in random order; accept while degrees allow. *)
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      pairs := (i, j) :: !pairs
+    done
+  done;
+  let arr = Array.of_list !pairs in
+  (* Fisher–Yates shuffle. *)
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.iter
+    (fun (i, j) ->
+      if deg.(i) < d && deg.(j) < d && Random.State.bool rng then (
+        deg.(i) <- deg.(i) + 1;
+        deg.(j) <- deg.(j) + 1;
+        tuples := [| i; j |] :: [| j; i |] :: !tuples))
+    arr;
+  Structure.make Signature.graph ~size:n [ ("E", !tuples) ]

@@ -1,0 +1,292 @@
+module Signature = Fmtk_logic.Signature
+
+let shared_const_pairs a b =
+  let ca = Signature.consts (Structure.signature a) in
+  List.filter_map
+    (fun name ->
+      if Signature.mem_const (Structure.signature b) name then
+        Some (Structure.const a name, Structure.const b name)
+      else None)
+    ca
+
+(* Builds the forward map, failing on non-functional or non-injective pair
+   lists. *)
+let build_map pairs =
+  let fwd = Hashtbl.create 16 and bwd = Hashtbl.create 16 in
+  let ok =
+    List.for_all
+      (fun (x, y) ->
+        match (Hashtbl.find_opt fwd x, Hashtbl.find_opt bwd y) with
+        | Some y', _ -> y = y'
+        | None, Some x' -> x = x'
+        | None, None ->
+            Hashtbl.add fwd x y;
+            Hashtbl.add bwd y x;
+            true)
+      pairs
+  in
+  if ok then Some fwd else None
+
+(* Enumerates arity-[k] tuples over the element list [dom]; when [pivot] is
+   given, only tuples containing it. *)
+let tuples_over dom k ~pivot =
+  let dom = Array.of_list dom in
+  let n = Array.length dom in
+  let acc = ref [] in
+  let tup = Array.make k 0 in
+  let rec go i has_pivot =
+    if i = k then (
+      match pivot with
+      | Some p when not has_pivot -> ignore p
+      | _ -> acc := Array.copy tup :: !acc)
+    else
+      for j = 0 to n - 1 do
+        tup.(i) <- dom.(j);
+        go (i + 1) (has_pivot || Some dom.(j) = pivot)
+      done
+  in
+  if k > 0 && n = 0 then []
+  else (
+    go 0 false;
+    !acc)
+
+let rels_agree a b fwd doms =
+  let sig_a = Structure.signature a and sig_b = Structure.signature b in
+  List.for_all
+    (fun (name, k) ->
+      Signature.mem_rel sig_b name
+      && Signature.arity sig_b name = k
+      &&
+      let tuples = tuples_over doms k ~pivot:None in
+      List.for_all
+        (fun t ->
+          Structure.mem a name t
+          = Structure.mem b name (Array.map (Hashtbl.find fwd) t))
+        tuples)
+    (Signature.rels sig_a)
+
+let partial_iso a b pairs =
+  let all = shared_const_pairs a b @ pairs in
+  match build_map all with
+  | None -> false
+  | Some fwd ->
+      let doms = Hashtbl.fold (fun x _ acc -> x :: acc) fwd [] in
+      let doms = List.sort_uniq Int.compare doms in
+      rels_agree a b fwd doms
+
+let extension_ok a b pairs (x, y) =
+  let all = shared_const_pairs a b @ pairs in
+  match build_map all with
+  | None -> false
+  | Some fwd -> (
+      match Hashtbl.find_opt fwd x with
+      | Some y' -> y = y' (* repeated pebble: nothing new to check *)
+      | None ->
+          let hit = Hashtbl.fold (fun _ y' acc -> acc || y = y') fwd false in
+          if hit then false
+          else (
+            Hashtbl.add fwd x y;
+            let doms =
+              List.sort_uniq Int.compare
+                (x :: Hashtbl.fold (fun e _ acc -> e :: acc) fwd [])
+            in
+            let sig_a = Structure.signature a in
+            List.for_all
+              (fun (name, k) ->
+                let tuples = tuples_over doms k ~pivot:(Some x) in
+                List.for_all
+                  (fun t ->
+                    Structure.mem a name t
+                    = Structure.mem b name (Array.map (Hashtbl.find fwd) t))
+                  tuples)
+              (Signature.rels sig_a)))
+
+(* ---- Colour refinement ---- *)
+
+(* Gaifman adjacency lists: elements are adjacent when they co-occur in a
+   tuple. *)
+let gaifman_adj t =
+  let n = Structure.size t in
+  let adj = Array.make n [] in
+  let add u v = if u <> v && not (List.mem v adj.(u)) then adj.(u) <- v :: adj.(u) in
+  List.iter
+    (fun (name, _) ->
+      Tuple.Set.iter
+        (fun tup ->
+          Array.iter (fun u -> Array.iter (fun v -> add u v) tup) tup)
+        (Structure.rel t name))
+    (Signature.rels (Structure.signature t));
+  adj
+
+(* Initial colour of an element: per-relation per-position occurrence counts
+   plus the set of constants naming it. *)
+let initial_color_strings t =
+  let n = Structure.size t in
+  let sg = Structure.signature t in
+  let buf = Array.init n (fun _ -> Buffer.create 32) in
+  List.iter
+    (fun (name, k) ->
+      let counts = Array.make_matrix n k 0 in
+      Tuple.Set.iter
+        (fun tup ->
+          Array.iteri (fun i e -> counts.(e).(i) <- counts.(e).(i) + 1) tup)
+        (Structure.rel t name);
+      for e = 0 to n - 1 do
+        Buffer.add_string buf.(e) name;
+        Array.iter
+          (fun c -> Buffer.add_string buf.(e) (Printf.sprintf ":%d" c))
+          counts.(e);
+        Buffer.add_char buf.(e) ';'
+      done)
+    (Signature.rels sg);
+  List.iter
+    (fun cname ->
+      let e = Structure.const t cname in
+      Buffer.add_string buf.(e) ("@" ^ cname))
+    (Signature.consts sg);
+  Array.map Buffer.contents buf
+
+let wl_colors a b =
+  let na = Structure.size a and nb = Structure.size b in
+  let adj_a = gaifman_adj a and adj_b = gaifman_adj b in
+  (* Combined node space: a-nodes first, then b-nodes. *)
+  let adj =
+    Array.init (na + nb) (fun i ->
+        if i < na then adj_a.(i) else List.map (fun v -> v + na) adj_b.(i - na))
+  in
+  let init =
+    Array.append (initial_color_strings a) (initial_color_strings b)
+  in
+  let intern strings =
+    let table = Hashtbl.create 64 in
+    let next = ref 0 in
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt table s with
+        | Some c -> c
+        | None ->
+            let c = !next in
+            incr next;
+            Hashtbl.add table s c;
+            c)
+      strings
+  in
+  let colors = ref (intern init) in
+  let distinct arr =
+    let seen = Hashtbl.create 64 in
+    Array.iter (fun c -> Hashtbl.replace seen c ()) arr;
+    Hashtbl.length seen
+  in
+  let rec refine count =
+    let cur = !colors in
+    let strings =
+      Array.mapi
+        (fun i _ ->
+          let neigh = List.sort Int.compare (List.map (fun j -> cur.(j)) adj.(i)) in
+          Printf.sprintf "%d|%s" cur.(i)
+            (String.concat "," (List.map string_of_int neigh)))
+        cur
+    in
+    let next = intern strings in
+    let count' = distinct next in
+    colors := next;
+    if count' > count then refine count'
+  in
+  refine (distinct !colors);
+  let final = !colors in
+  (Array.sub final 0 na, Array.sub final na nb)
+
+(* Content-canonical colour labels: unlike the interned ids of [wl_colors]
+   (whose numbering depends on element order and is only comparable within
+   one joint run), these digests depend solely on the refinement content,
+   so isomorphic structures of equal size get identical label multisets.
+   Refinement runs [size] rounds — an upper bound for stabilization — so
+   equal-size structures are always compared at the same round. *)
+let canonical_colors t =
+  let n = Structure.size t in
+  let adj = gaifman_adj t in
+  let labels = ref (Array.map Digest.string (initial_color_strings t)) in
+  for _ = 1 to n do
+    let cur = !labels in
+    labels :=
+      Array.mapi
+        (fun i own ->
+          let neigh =
+            List.sort String.compare (List.map (fun j -> cur.(j)) adj.(i))
+          in
+          Digest.string (String.concat "|" (own :: neigh)))
+        cur
+  done;
+  !labels
+
+let invariant_key t =
+  let self = canonical_colors t in
+  let sorted = Array.to_list self |> List.sort String.compare in
+  let sg = Structure.signature t in
+  let rel_counts =
+    List.map
+      (fun (name, _) ->
+        Printf.sprintf "%s=%d" name (Tuple.Set.cardinal (Structure.rel t name)))
+      (Signature.rels sg)
+  in
+  let const_colors =
+    List.map
+      (fun c ->
+        Printf.sprintf "%s@%s" c
+          (Digest.to_hex self.(Structure.const t c)))
+      (List.sort String.compare (Signature.consts sg))
+  in
+  Printf.sprintf "n%d|%s|%s|%s" (Structure.size t)
+    (String.concat "," (List.map Digest.to_hex sorted))
+    (String.concat ";" rel_counts)
+    (String.concat ";" const_colors)
+
+let find_iso a b =
+  if Structure.size a <> Structure.size b then None
+  else if
+    not
+      (Signature.equal (Structure.signature a) (Structure.signature b))
+  then None
+  else
+    let const_pairs = shared_const_pairs a b in
+    if not (partial_iso a b []) then None
+    else
+      let ca, cb = wl_colors a b in
+      let n = Structure.size a in
+      (* Candidate b-elements per a-element, filtered by colour. *)
+      let candidates =
+        Array.init n (fun x ->
+            List.filter (fun y -> cb.(y) = ca.(x)) (Structure.domain b))
+      in
+      if Array.exists (fun l -> l = []) candidates then None
+      else
+        let order =
+          List.sort
+            (fun x x' ->
+              Int.compare
+                (List.length candidates.(x))
+                (List.length candidates.(x')))
+            (List.init n Fun.id)
+        in
+        let assignment = Array.make n (-1) in
+        let used = Array.make n false in
+        let rec search pairs = function
+          | [] -> true
+          | x :: rest ->
+              List.exists
+                (fun y ->
+                  (not used.(y))
+                  && extension_ok a b pairs (x, y)
+                  &&
+                  (assignment.(x) <- y;
+                   used.(y) <- true;
+                   if search ((x, y) :: pairs) rest then true
+                   else (
+                     assignment.(x) <- -1;
+                     used.(y) <- false;
+                     false)))
+                candidates.(x)
+        in
+        if search const_pairs order then Some assignment else None
+
+let isomorphic a b = Option.is_some (find_iso a b)

@@ -1,0 +1,188 @@
+module Signature = Fmtk_logic.Signature
+module SMap = Map.Make (String)
+
+type t = {
+  signature : Signature.t;
+  size : int;
+  rels : Tuple.Set.t SMap.t;
+  consts : int SMap.t;
+}
+
+let check_tuple name size arity tup =
+  if Array.length tup <> arity then
+    invalid_arg
+      (Printf.sprintf "Structure: tuple %s for %S has arity %d, expected %d"
+         (Tuple.to_string tup) name (Array.length tup) arity);
+  Array.iter
+    (fun e ->
+      if e < 0 || e >= size then
+        invalid_arg
+          (Printf.sprintf "Structure: element %d of %S outside domain [0,%d)"
+             e name size))
+    tup
+
+let make sg ~size ?(consts = []) rel_tuples =
+  if size < 0 then invalid_arg "Structure.make: negative size";
+  List.iter
+    (fun (name, _) ->
+      if not (Signature.mem_rel sg name) then
+        invalid_arg (Printf.sprintf "Structure.make: undeclared relation %S" name))
+    rel_tuples;
+  let rels =
+    List.fold_left
+      (fun acc (name, arity) ->
+        let tuples =
+          match List.assoc_opt name rel_tuples with
+          | None -> Tuple.Set.empty
+          | Some ts ->
+              List.iter (check_tuple name size arity) ts;
+              Tuple.Set.of_list ts
+        in
+        SMap.add name tuples acc)
+      SMap.empty (Signature.rels sg)
+  in
+  let consts_map =
+    List.fold_left
+      (fun acc name ->
+        match List.assoc_opt name consts with
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Structure.make: constant %S uninterpreted" name)
+        | Some e ->
+            if e < 0 || e >= size then
+              invalid_arg
+                (Printf.sprintf "Structure.make: constant %S -> %d outside domain"
+                   name e);
+            SMap.add name e acc)
+      SMap.empty (Signature.consts sg)
+  in
+  { signature = sg; size; rels; consts = consts_map }
+
+let signature t = t.signature
+let size t = t.size
+let domain t = List.init t.size Fun.id
+let rel t name =
+  match SMap.find_opt name t.rels with
+  | Some s -> s
+  | None -> raise Not_found
+
+let mem t name tup = Tuple.Set.mem tup (rel t name)
+let const t name =
+  match SMap.find_opt name t.consts with
+  | Some e -> e
+  | None -> raise Not_found
+
+let tuple_count t =
+  SMap.fold (fun _ s acc -> acc + Tuple.Set.cardinal s) t.rels 0
+
+let with_rel t name arity tuples =
+  Tuple.Set.iter (check_tuple name t.size arity) tuples;
+  let signature = Signature.add_rel t.signature (name, arity) in
+  { t with signature; rels = SMap.add name tuples t.rels }
+
+let expand_consts t bindings =
+  List.iter
+    (fun (name, e) ->
+      if Signature.mem_const t.signature name then
+        invalid_arg
+          (Printf.sprintf "Structure.expand_consts: %S already bound" name);
+      if e < 0 || e >= t.size then
+        invalid_arg
+          (Printf.sprintf "Structure.expand_consts: %S -> %d outside domain"
+             name e))
+    bindings;
+  {
+    t with
+    signature = Signature.add_consts t.signature (List.map fst bindings);
+    consts =
+      List.fold_left (fun acc (n, e) -> SMap.add n e acc) t.consts bindings;
+  }
+
+let induced t elems =
+  let elems = List.sort_uniq Int.compare elems in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= t.size then
+        invalid_arg "Structure.induced: element outside domain")
+    elems;
+  let embed = Array.of_list elems in
+  let old_to_new = Hashtbl.create (Array.length embed) in
+  Array.iteri (fun i e -> Hashtbl.add old_to_new e i) embed;
+  let keep tup = Array.for_all (Hashtbl.mem old_to_new) tup in
+  let rels =
+    SMap.map
+      (fun tuples ->
+        Tuple.Set.fold
+          (fun tup acc ->
+            if keep tup then
+              Tuple.Set.add (Array.map (Hashtbl.find old_to_new) tup) acc
+            else acc)
+          tuples Tuple.Set.empty)
+      t.rels
+  in
+  (* Constants pointing outside the induced domain are dropped. *)
+  let kept_consts =
+    SMap.filter (fun _ e -> Hashtbl.mem old_to_new e) t.consts
+  in
+  let signature =
+    Signature.make
+      ~consts:(List.map fst (SMap.bindings kept_consts))
+      (Signature.rels t.signature)
+  in
+  ( {
+      signature;
+      size = Array.length embed;
+      rels;
+      consts = SMap.map (Hashtbl.find old_to_new) kept_consts;
+    },
+    embed )
+
+let disjoint_union a b =
+  if not (Signature.equal a.signature b.signature) then
+    invalid_arg "Structure.disjoint_union: signatures differ";
+  if Signature.consts a.signature <> [] then
+    invalid_arg "Structure.disjoint_union: constants not supported";
+  let shift = a.size in
+  let rels =
+    SMap.mapi
+      (fun name tuples ->
+        Tuple.Set.union tuples
+          (Tuple.map_set (fun e -> e + shift) (SMap.find name b.rels)))
+      a.rels
+  in
+  { a with size = a.size + b.size; rels }
+
+let relabel t perm =
+  if Array.length perm <> t.size then
+    invalid_arg "Structure.relabel: permutation length mismatch";
+  let seen = Array.make t.size false in
+  Array.iter
+    (fun e ->
+      if e < 0 || e >= t.size || seen.(e) then
+        invalid_arg "Structure.relabel: not a permutation";
+      seen.(e) <- true)
+    perm;
+  {
+    t with
+    rels = SMap.map (Tuple.map_set (fun e -> perm.(e))) t.rels;
+    consts = SMap.map (fun e -> perm.(e)) t.consts;
+  }
+
+let equal a b =
+  Signature.equal a.signature b.signature
+  && a.size = b.size
+  && SMap.equal Tuple.Set.equal a.rels b.rels
+  && SMap.equal Int.equal a.consts b.consts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>domain: 0..%d@," (t.size - 1);
+  SMap.iter
+    (fun name tuples ->
+      Format.fprintf ppf "%s = {%a}@," name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Tuple.pp)
+        (Tuple.Set.elements tuples))
+    t.rels;
+  SMap.iter (fun name e -> Format.fprintf ppf "'%s = %d@," name e) t.consts;
+  Format.fprintf ppf "@]"

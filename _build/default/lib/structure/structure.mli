@@ -1,0 +1,69 @@
+(** Finite relational structures — the paper's model of a database
+    (slide 8: "Consider DBs as finite FOL structures").
+
+    A structure has domain [{0, .., size-1}], one set of tuples per relation
+    symbol of its signature, and an interpretation for each constant. *)
+
+type t
+
+(** [make sg ~size rels ~consts] builds and validates a structure.
+    [rels] gives tuples per relation name (missing relations are empty);
+    [consts] interprets constant symbols.
+    @raise Invalid_argument if a tuple has the wrong arity, mentions an
+    element outside the domain, names an undeclared relation, or a declared
+    constant is uninterpreted. *)
+val make :
+  Fmtk_logic.Signature.t ->
+  size:int ->
+  ?consts:(string * int) list ->
+  (string * int array list) list ->
+  t
+
+val signature : t -> Fmtk_logic.Signature.t
+val size : t -> int
+
+(** Domain elements [0 .. size-1]. *)
+val domain : t -> int list
+
+(** Tuple set of a relation. @raise Not_found for undeclared relations. *)
+val rel : t -> string -> Tuple.Set.t
+
+(** Membership test for one tuple. *)
+val mem : t -> string -> int array -> bool
+
+(** Interpretation of a constant. @raise Not_found if undeclared. *)
+val const : t -> string -> int
+
+(** Total number of tuples across all relations. *)
+val tuple_count : t -> int
+
+(** {1 Construction helpers} *)
+
+(** Replace (or add, extending the signature) a relation wholesale. *)
+val with_rel : t -> string -> int -> Tuple.Set.t -> t
+
+(** [expand_consts t bindings] adds fresh constant symbols pinned to given
+    elements — used to mark distinguished tuples in neighborhoods.
+    @raise Invalid_argument if a name is already a constant of [t]. *)
+val expand_consts : t -> (string * int) list -> t
+
+(** {1 Operations} *)
+
+(** [induced t elems] is the substructure induced by [elems] (duplicates
+    ignored), with elements renumbered [0..]; the returned array maps new
+    elements to old ones. Constants interpreted outside [elems] are dropped
+    from the signature. *)
+val induced : t -> int list -> t * int array
+
+(** Disjoint union; both arguments must share a signature with no constants.
+    Elements of the second argument are shifted by [size first]. *)
+val disjoint_union : t -> t -> t
+
+(** [relabel t perm] renames element [i] to [perm.(i)]; [perm] must be a
+    permutation of the domain. *)
+val relabel : t -> int array -> t
+
+(** Literal equality: same signature, size, relations and constants. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+module Signature = Fmtk_logic.Signature
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "domain %d\n" (Structure.size t));
+  let sg = Structure.signature t in
+  List.iter
+    (fun (name, k) ->
+      Buffer.add_string buf (Printf.sprintf "rel %s/%d =" name k);
+      Tuple.Set.iter
+        (fun tup ->
+          Buffer.add_string buf
+            (Printf.sprintf " (%s)"
+               (String.concat ","
+                  (List.map string_of_int (Array.to_list tup)))))
+        (Structure.rel t name);
+      Buffer.add_char buf '\n')
+    (Signature.rels sg);
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "const %s = %d\n" c (Structure.const t c)))
+    (Signature.consts sg);
+  Buffer.contents buf
+
+exception Bad of string
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens_of line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.filter (fun s -> s <> "")
+
+let parse_tuple_group s =
+  (* Accepts "(1,2)" (no internal spaces after tokenization regrouping). *)
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '(' || s.[n - 1] <> ')' then
+    raise (Bad (Printf.sprintf "bad tuple %S" s));
+  let inner = String.sub s 1 (n - 2) in
+  if String.trim inner = "" then [||]
+  else
+    String.split_on_char ',' inner
+    |> List.map (fun x ->
+           match int_of_string_opt (String.trim x) with
+           | Some v -> v
+           | None -> raise (Bad (Printf.sprintf "bad element %S" x)))
+    |> Array.of_list
+
+let parse text =
+  match
+    let size = ref (-1) in
+    let rels = ref [] in
+    let consts = ref [] in
+    let handle_line line =
+      match tokens_of (strip_comment line) with
+      | [] -> ()
+      | [ "domain"; n ] -> (
+          match int_of_string_opt n with
+          | Some v when v >= 0 -> size := v
+          | _ -> raise (Bad (Printf.sprintf "bad domain size %S" n)))
+      | "rel" :: spec :: "=" :: tuple_toks ->
+          let name, arity =
+            match String.split_on_char '/' spec with
+            | [ name; k ] -> (
+                match int_of_string_opt k with
+                | Some a when a >= 0 -> (name, a)
+                | _ -> raise (Bad (Printf.sprintf "bad arity in %S" spec)))
+            | _ -> raise (Bad (Printf.sprintf "bad relation spec %S" spec))
+          in
+          (* Tuples may contain no spaces, so each token is one tuple. *)
+          let tuples = List.map parse_tuple_group tuple_toks in
+          List.iter
+            (fun tup ->
+              if Array.length tup <> arity then
+                raise
+                  (Bad
+                     (Printf.sprintf "tuple %s has arity %d, expected %d"
+                        (Tuple.to_string tup) (Array.length tup) arity)))
+            tuples;
+          rels := (name, arity, tuples) :: !rels
+      | [ "const"; name; "="; e ] -> (
+          match int_of_string_opt e with
+          | Some v -> consts := (name, v) :: !consts
+          | _ -> raise (Bad (Printf.sprintf "bad constant value %S" e)))
+      | tok :: _ -> raise (Bad (Printf.sprintf "unknown directive %S" tok))
+    in
+    List.iter handle_line (String.split_on_char '\n' text);
+    if !size < 0 then raise (Bad "missing 'domain N' line");
+    let sg =
+      Signature.make
+        ~consts:(List.rev_map fst !consts)
+        (List.rev_map (fun (n, k, _) -> (n, k)) !rels)
+    in
+    Structure.make sg ~size:!size ~consts:(List.rev !consts)
+      (List.rev_map (fun (n, _, ts) -> (n, ts)) !rels)
+  with
+  | s -> Ok s
+  | exception Bad msg -> Error ("structure parse error: " ^ msg)
+  | exception Invalid_argument msg -> Error ("structure parse error: " ^ msg)
+
+let parse_exn text =
+  match parse text with Ok s -> s | Error msg -> invalid_arg msg
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg

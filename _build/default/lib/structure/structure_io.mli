@@ -1,0 +1,14 @@
+(** Plain-text serialization of structures, used by the CLI.
+
+    Format (whitespace-insensitive, [#] starts a line comment):
+    {v
+      domain 5
+      rel E/2 = (0,1) (1,2) (2,3)
+      rel P/1 = (0) (4)
+      const a = 3
+    v} *)
+
+val to_string : Structure.t -> string
+val parse : string -> (Structure.t, string) result
+val parse_exn : string -> Structure.t
+val load : string -> (Structure.t, string) result

@@ -1,0 +1,60 @@
+type t = int array
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let map_set f s = Set.map (Array.map f) s
+
+let all n k =
+  (* Enumerate n^k tuples by counting in base n. *)
+  if k = 0 then Seq.return [||]
+  else if n = 0 then Seq.empty
+  else
+    let first = Array.make k 0 in
+    let next t =
+      let t = Array.copy t in
+      let rec bump i =
+        if i < 0 then None
+        else if t.(i) + 1 < n then (
+          t.(i) <- t.(i) + 1;
+          Some t)
+        else (
+          t.(i) <- 0;
+          bump (i - 1))
+      in
+      bump (k - 1)
+    in
+    let rec seq t () =
+      Seq.Cons
+        ( t,
+          match next t with
+          | Some t' -> seq t'
+          | None -> fun () -> Seq.Nil )
+    in
+    seq first

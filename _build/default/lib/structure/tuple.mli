@@ -1,0 +1,18 @@
+(** Tuples of domain elements (domain elements are [int]s). *)
+
+type t = int array
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Set of tuples; the payload type of every relation in a structure. *)
+module Set : Set.S with type elt = t
+
+(** [map_set f s] applies an element renaming to every tuple in [s]. *)
+val map_set : (int -> int) -> Set.t -> Set.t
+
+(** [all n k] enumerates every tuple of arity [k] over domain [0..n-1]
+    (that is [n^k] tuples, as a lazy sequence). *)
+val all : int -> int -> t Seq.t

@@ -1,0 +1,1 @@
+lib/trees/automaton.ml: Array Fun List Printf Tree

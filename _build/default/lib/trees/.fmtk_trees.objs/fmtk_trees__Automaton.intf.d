@@ -1,0 +1,1 @@
+lib/trees/automaton.mli: Tree

@@ -1,0 +1,1 @@
+lib/trees/mso_trees.ml: Automaton Fmtk_logic Fmtk_so List Printf Tree

@@ -1,0 +1,1 @@
+lib/trees/mso_trees.mli: Fmtk_so Tree

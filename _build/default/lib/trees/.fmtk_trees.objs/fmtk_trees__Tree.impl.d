@@ -1,0 +1,1 @@
+lib/trees/tree.ml: Fmtk_logic Fmtk_structure Format Hashtbl List Option Printf Random

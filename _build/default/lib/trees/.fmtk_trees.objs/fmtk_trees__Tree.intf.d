@@ -1,0 +1,1 @@
+lib/trees/tree.mli: Fmtk_structure Format Random

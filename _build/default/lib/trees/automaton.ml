@@ -1,0 +1,119 @@
+type state = int
+
+type t = {
+  states : int;
+  leaf : string -> state;
+  node : string -> state -> state -> state;
+  accepting : state list;
+}
+
+let make ~states ~leaf ~node ~accepting =
+  List.iter
+    (fun q ->
+      if q < 0 || q >= states then
+        invalid_arg "Automaton.make: accepting state out of range")
+    accepting;
+  { states; leaf; node; accepting }
+
+let states a = a.states
+
+let rec run a = function
+  | Tree.Leaf l ->
+      let q = a.leaf l in
+      if q < 0 || q >= a.states then
+        invalid_arg (Printf.sprintf "Automaton.run: leaf %S -> bad state %d" l q)
+      else q
+  | Tree.Node (l, left, right) ->
+      let ql = run a left and qr = run a right in
+      let q = a.node l ql qr in
+      if q < 0 || q >= a.states then
+        invalid_arg (Printf.sprintf "Automaton.run: node %S -> bad state %d" l q)
+      else q
+
+let accepts a t = List.mem (run a t) a.accepting
+
+let complement a =
+  {
+    a with
+    accepting =
+      List.filter
+        (fun q -> not (List.mem q a.accepting))
+        (List.init a.states Fun.id);
+  }
+
+(* Product construction; acceptance condition chosen by [combine]. *)
+let product ~alphabet a b combine =
+  ignore alphabet;
+  let encode qa qb = (qa * b.states) + qb in
+  let accepting =
+    List.concat_map
+      (fun qa ->
+        List.filter_map
+          (fun qb ->
+            if combine (List.mem qa a.accepting) (List.mem qb b.accepting)
+            then Some (encode qa qb)
+            else None)
+          (List.init b.states Fun.id))
+      (List.init a.states Fun.id)
+  in
+  {
+    states = a.states * b.states;
+    leaf = (fun l -> encode (a.leaf l) (b.leaf l));
+    node =
+      (fun l ql qr ->
+        let qla = ql / b.states and qlb = ql mod b.states in
+        let qra = qr / b.states and qrb = qr mod b.states in
+        encode (a.node l qla qra) (b.node l qlb qrb));
+    accepting;
+  }
+
+let intersect ~alphabet a b = product ~alphabet a b ( && )
+let union ~alphabet a b = product ~alphabet a b ( || )
+
+let nonempty ~internal ~leaves a =
+  (* Least fixpoint of reachable states. *)
+  let reachable = Array.make a.states false in
+  List.iter (fun l -> reachable.(a.leaf l) <- true) leaves;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        for ql = 0 to a.states - 1 do
+          if reachable.(ql) then
+            for qr = 0 to a.states - 1 do
+              if reachable.(qr) then begin
+                let q = a.node l ql qr in
+                if not reachable.(q) then begin
+                  reachable.(q) <- true;
+                  changed := true
+                end
+              end
+            done
+        done)
+      internal
+  done;
+  List.exists (fun q -> reachable.(q)) a.accepting
+
+(* ---- stock automata ---- *)
+
+(* States: 0 = false, 1 = true. *)
+let boolean_eval =
+  make ~states:2
+    ~leaf:(function
+      | "1" -> 1
+      | "0" -> 0
+      | l -> invalid_arg (Printf.sprintf "boolean_eval: bad leaf %S" l))
+    ~node:(fun l a b ->
+      match l with
+      | "and" -> if a = 1 && b = 1 then 1 else 0
+      | "or" -> if a = 1 || b = 1 then 1 else 0
+      | _ -> invalid_arg (Printf.sprintf "boolean_eval: bad node %S" l))
+    ~accepting:[ 1 ]
+
+(* States: parity of the number of leaves labelled "1" seen so far. *)
+let even_ones =
+  make ~states:2
+    ~leaf:(function "1" -> 1 | _ -> 0)
+    ~node:(fun _ a b -> (a + b) mod 2)
+    ~accepting:[ 0 ]

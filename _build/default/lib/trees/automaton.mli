@@ -1,0 +1,52 @@
+(** Deterministic bottom-up binary tree automata — the recognizers of
+    regular tree languages, which by the Thatcher–Wright theorem are
+    exactly the MSO-definable tree properties. *)
+
+type state = int
+
+type t
+
+(** [make ~states ~leaf ~node ~accepting] — [leaf label] is the state
+    reached at a leaf; [node label l r] at an inner node whose children
+    reached [l] and [r]. Both must return states < [states].
+    @raise Invalid_argument on out-of-range accepting states. *)
+val make :
+  states:int ->
+  leaf:(string -> state) ->
+  node:(string -> state -> state -> state) ->
+  accepting:state list ->
+  t
+
+val states : t -> int
+
+(** State reached at the root. *)
+val run : t -> Tree.t -> state
+
+val accepts : t -> Tree.t -> bool
+
+(** {1 Boolean closure — one half of Thatcher–Wright}
+
+    The closure operations need the transition function on a concrete
+    alphabet to build product automata. *)
+
+val complement : t -> t
+
+(** [intersect ~alphabet a b] — product automaton. *)
+val intersect : alphabet:string list -> t -> t -> t
+
+val union : alphabet:string list -> t -> t -> t
+
+(** [nonempty ~alphabet ~leaves a] — does [a] accept some tree with
+    internal labels and leaf labels from the given sets? (Least fixpoint of
+    reachable states.) *)
+val nonempty : internal:string list -> leaves:string list -> t -> bool
+
+(** {1 Stock automata (over the boolean-expression alphabet)} *)
+
+(** Alphabet [{"and"; "or"; "0"; "1"}]: accepts trees that evaluate to
+    true. 2 states. *)
+val boolean_eval : t
+
+(** Accepts trees with an even number of leaves labelled ["1"].
+    2 states. *)
+val even_ones : t

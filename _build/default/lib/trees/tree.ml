@@ -1,0 +1,78 @@
+module Structure = Fmtk_structure.Structure
+module Signature = Fmtk_logic.Signature
+
+type t = Leaf of string | Node of string * t * t
+
+let rec size = function Leaf _ -> 1 | Node (_, l, r) -> 1 + size l + size r
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Node (_, l, r) -> 1 + max (depth l) (depth r)
+
+let alphabet t =
+  let add acc a = if List.mem a acc then acc else acc @ [ a ] in
+  let rec go acc = function
+    | Leaf a -> add acc a
+    | Node (a, l, r) -> go (go (add acc a) l) r
+  in
+  go [] t
+
+let rec count_leaves label = function
+  | Leaf a -> if a = label then 1 else 0
+  | Node (_, l, r) -> count_leaves label l + count_leaves label r
+
+let label_rel a = "L_" ^ a
+
+let to_structure ~alphabet:alpha t =
+  List.iter
+    (fun a ->
+      if not (List.mem a alpha) then
+        invalid_arg (Printf.sprintf "Tree.to_structure: label %S not in alphabet" a))
+    (alphabet t);
+  let n = size t in
+  let left = ref [] and right = ref [] in
+  let labels = Hashtbl.create 8 in
+  let add_label a node =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt labels a) in
+    Hashtbl.replace labels a ([| node |] :: cur)
+  in
+  (* Preorder numbering: returns the id after the subtree. *)
+  let rec walk id = function
+    | Leaf a ->
+        add_label a id;
+        id + 1
+    | Node (a, l, r) ->
+        add_label a id;
+        let left_id = id + 1 in
+        left := [| id; left_id |] :: !left;
+        let right_id = walk left_id l in
+        right := [| id; right_id |] :: !right;
+        walk right_id r
+  in
+  let final = walk 0 t in
+  assert (final = n);
+  let sg =
+    Signature.make
+      ([ ("left", 2); ("right", 2) ]
+      @ List.map (fun a -> (label_rel a, 1)) alpha)
+  in
+  Structure.make sg ~size:n
+    (("left", !left) :: ("right", !right)
+    :: List.map
+         (fun a ->
+           (label_rel a, Option.value ~default:[] (Hashtbl.find_opt labels a)))
+         alpha)
+
+let rec random ~rng ~internal ~leaves d =
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  if d <= 0 then Leaf (pick leaves)
+  else
+    (* Exactly one branch keeps the full depth so the tree has depth d. *)
+    let deep = random ~rng ~internal ~leaves (d - 1) in
+    let shallow = random ~rng ~internal ~leaves (Random.State.int rng d) in
+    if Random.State.bool rng then Node (pick internal, deep, shallow)
+    else Node (pick internal, shallow, deep)
+
+let rec pp ppf = function
+  | Leaf a -> Format.pp_print_string ppf a
+  | Node (a, l, r) -> Format.fprintf ppf "%s(%a, %a)" a pp l pp r

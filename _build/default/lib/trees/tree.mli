@@ -1,0 +1,38 @@
+(** Labelled binary trees — the data model of the paper's closing
+    section (model theory of trees / XML).
+
+    Trees convert to finite structures over the signature
+    [{left/2, right/2}] plus one unary label predicate per alphabet
+    symbol, so every tool in the toolbox (FO/MSO evaluation, games,
+    locality) applies to them. *)
+
+type t = Leaf of string | Node of string * t * t
+
+(** Number of nodes. *)
+val size : t -> int
+
+val depth : t -> int
+
+(** Labels used, each once. *)
+val alphabet : t -> string list
+
+(** Number of leaves with the given label. *)
+val count_leaves : string -> t -> int
+
+(** [to_structure ~alphabet t] encodes [t] as a structure: nodes are
+    numbered in preorder (root = 0); relations [left], [right]; unary
+    [L_<a>] per symbol of [alphabet] (which must cover the tree's labels).
+    @raise Invalid_argument if a label is outside [alphabet]. *)
+val to_structure : alphabet:string list -> t -> Fmtk_structure.Structure.t
+
+(** [random ~rng ~alphabet ~leaf_labels depth] draws a tree of exactly the
+    given depth: internal labels from [alphabet], leaf labels from
+    [leaf_labels]. *)
+val random :
+  rng:Random.State.t ->
+  internal:string list ->
+  leaves:string list ->
+  int ->
+  t
+
+val pp : Format.formatter -> t -> unit

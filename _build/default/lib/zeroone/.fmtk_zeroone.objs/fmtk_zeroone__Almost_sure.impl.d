@@ -1,0 +1,1 @@
+lib/zeroone/almost_sure.ml: Extension Fmtk_eval Fmtk_logic Fmtk_structure Paley Printf Random

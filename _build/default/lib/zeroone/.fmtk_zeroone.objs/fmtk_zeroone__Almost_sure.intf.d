@@ -1,0 +1,1 @@
+lib/zeroone/almost_sure.mli: Fmtk_logic Fmtk_structure Random

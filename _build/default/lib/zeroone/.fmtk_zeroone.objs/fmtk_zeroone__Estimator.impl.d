@@ -1,0 +1,1 @@
+lib/zeroone/estimator.ml: Fmtk_eval Fmtk_logic Fmtk_structure List

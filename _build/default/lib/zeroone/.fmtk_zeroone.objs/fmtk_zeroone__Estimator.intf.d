@@ -1,0 +1,1 @@
+lib/zeroone/estimator.mli: Fmtk_logic Fmtk_structure Random

@@ -1,0 +1,1 @@
+lib/zeroone/extension.ml: Array Fmtk_logic Fmtk_structure Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/zeroone/extension.mli: Fmtk_logic Fmtk_structure

@@ -1,0 +1,1 @@
+lib/zeroone/paley.ml: Array Fmtk_logic Fmtk_structure

@@ -1,0 +1,1 @@
+lib/zeroone/paley.mli: Fmtk_structure

@@ -1,0 +1,46 @@
+(** Monte-Carlo estimation of μ_n(Q) — the probability that a uniformly
+    random structure with domain [{0..n-1}] satisfies the Boolean query Q
+    (slide 64). The 0-1 law says that for FO queries, μ_n converges to 0
+    or 1; {!mu_series} makes the convergence visible (experiment E15). *)
+
+module Structure = Fmtk_structure.Structure
+module Formula = Fmtk_logic.Formula
+
+(** [mu ~rng ~trials sg n q] estimates μ_n of the semantic query [q] by
+    sampling [trials] uniform structures over [sg]. *)
+val mu :
+  rng:Random.State.t ->
+  trials:int ->
+  Fmtk_logic.Signature.t ->
+  int ->
+  (Structure.t -> bool) ->
+  float
+
+(** [mu_formula ~rng ~trials sg n phi] — μ_n of an FO sentence. *)
+val mu_formula :
+  rng:Random.State.t ->
+  trials:int ->
+  Fmtk_logic.Signature.t ->
+  int ->
+  Formula.t ->
+  float
+
+(** [mu_with ~rng ~trials ~sample q] — estimate under an arbitrary random
+    model: [sample rng] draws one structure. Use this to match the measure
+    of {!Almost_sure} (undirected loop-free G(n,1/2)) when cross-checking
+    decided values against empirical ones. *)
+val mu_with :
+  rng:Random.State.t ->
+  trials:int ->
+  sample:(Random.State.t -> Structure.t) ->
+  (Structure.t -> bool) ->
+  float
+
+(** [mu_series ~rng ~trials sg ns q] — μ_n for each n in [ns]. *)
+val mu_series :
+  rng:Random.State.t ->
+  trials:int ->
+  Fmtk_logic.Signature.t ->
+  int list ->
+  (Structure.t -> bool) ->
+  (int * float) list

@@ -1,0 +1,124 @@
+module Structure = Fmtk_structure.Structure
+module Formula = Fmtk_logic.Formula
+module Signature = Fmtk_logic.Signature
+module Tuple = Fmtk_structure.Tuple
+
+(* Enumerate subsets of [0..n-1] of size exactly [k], as lists. *)
+let rec subsets_of_size n k start =
+  if k = 0 then [ [] ]
+  else if start >= n then []
+  else
+    List.map (fun rest -> start :: rest) (subsets_of_size n (k - 1) (start + 1))
+    @ subsets_of_size n k (start + 1)
+
+let kec_failure ~k g =
+  let n = Structure.size g in
+  let adjacent u v = Structure.mem g "E" [| u; v |] in
+  (* For each subset S with 1 <= |S| <= k, every adjacency bitmask over S
+     must be realized by some z outside S. *)
+  let rec try_sizes size =
+    if size > k then None
+    else
+      let failure =
+        List.find_map
+          (fun s ->
+            let s_arr = Array.of_list s in
+            let width = Array.length s_arr in
+            let seen = Array.make (1 lsl width) false in
+            List.iter
+              (fun z ->
+                if not (List.mem z s) then begin
+                  let mask = ref 0 in
+                  Array.iteri
+                    (fun i u -> if adjacent z u then mask := !mask lor (1 lsl i))
+                    s_arr;
+                  seen.(!mask) <- true
+                end)
+              (Structure.domain g);
+            let missing = ref None in
+            Array.iteri
+              (fun mask present ->
+                if (not present) && !missing = None then missing := Some mask)
+              seen;
+            match !missing with
+            | None -> None
+            | Some mask ->
+                let xs =
+                  List.filteri (fun i _ -> mask land (1 lsl i) <> 0) s
+                and ys =
+                  List.filteri (fun i _ -> mask land (1 lsl i) = 0) s
+                in
+                Some (xs, ys))
+          (subsets_of_size n size 0)
+      in
+      match failure with None -> try_sizes (size + 1) | Some _ -> failure
+  in
+  try_sizes 1
+
+let is_kec ~k g = kec_failure ~k g = None
+
+let extension_axiom ~xs ~ys =
+  let open Formula in
+  let xvars = List.init xs (fun i -> Printf.sprintf "x%d" (i + 1)) in
+  let yvars = List.init ys (fun i -> Printf.sprintf "y%d" (i + 1)) in
+  let all = xvars @ yvars in
+  let rec pairs = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
+  in
+  let distinct = List.map (fun (a, b) -> neq (v a) (v b)) (pairs all) in
+  let z = "z" in
+  let z_conditions =
+    List.map (fun x -> rel "E" [ v z; v x ]) xvars
+    @ List.map (fun y -> not_ (rel "E" [ v z; v y ])) yvars
+    @ List.map (fun a -> neq (v z) (v a)) all
+  in
+  forall_many all
+    (implies (conj distinct) (exists z (conj z_conditions)))
+
+let sigma_extension_holds ~k g =
+  let sg = Structure.signature g in
+  let n = Structure.size g in
+  (* Atoms on a new element z over a base set S: all tuples over S ∪ {z}
+     that mention z, for every relation. z is encoded as -1. *)
+  let atoms_over s =
+    List.concat_map
+      (fun (rname, arity) ->
+        let elems = -1 :: s in
+        let rec tuples i =
+          if i = 0 then [ [] ]
+          else
+            List.concat_map
+              (fun rest -> List.map (fun e -> e :: rest) elems)
+              (tuples (i - 1))
+        in
+        List.filter_map
+          (fun tup -> if List.mem (-1) tup then Some (rname, tup) else None)
+          (tuples arity))
+      (Signature.rels sg)
+  in
+  let type_of_z s z =
+    List.map
+      (fun (rname, tup) ->
+        let concrete =
+          Array.of_list (List.map (fun e -> if e = -1 then z else e) tup)
+        in
+        Structure.mem g rname concrete)
+      (atoms_over s)
+  in
+  let rec check_sizes size =
+    if size > k then true
+    else
+      List.for_all
+        (fun s ->
+          let atoms = atoms_over s in
+          let total = 1 lsl List.length atoms in
+          let seen = Hashtbl.create total in
+          List.iter
+            (fun z -> if not (List.mem z s) then Hashtbl.replace seen (type_of_z s z) ())
+            (Structure.domain g);
+          Hashtbl.length seen = total)
+        (subsets_of_size n size 0)
+      && check_sizes (size + 1)
+  in
+  check_sizes 0

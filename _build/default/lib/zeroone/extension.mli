@@ -1,0 +1,34 @@
+(** Extension axioms and the k-existentially-closed (k-e.c.) property.
+
+    For undirected graphs, a graph is k-e.c. when for every pair of
+    disjoint vertex sets [X, Y] with [|X| + |Y| ≤ k] there is a vertex
+    outside [X ∪ Y] adjacent to everything in [X] and nothing in [Y].
+    Almost every random graph is k-e.c., all k-e.c. graphs of quantifier
+    rank ≤ k+1 are elementarily equivalent, and this is the engine of the
+    FO 0-1 law (the almost-sure theory is decided on any witness, see
+    {!Almost_sure}). Extension axioms generalize to any relational
+    signature; {!sigma_extension_holds} implements the generalized check
+    used for non-graph signatures. *)
+
+module Structure = Fmtk_structure.Structure
+
+(** Exact verifier for the k-e.c. property of an undirected graph (relation
+    ["E"], assumed symmetric and loop-free). Exponential in [k], linear in
+    the graph for fixed [k]. *)
+val is_kec : k:int -> Structure.t -> bool
+
+(** The smallest [(X, Y)] witness of failure, for diagnostics. *)
+val kec_failure : k:int -> Structure.t -> (int list * int list) option
+
+(** [extension_axiom ~xs ~ys] is the FO sentence over graphs asserting the
+    (xs, ys)-extension: for all distinct [x1..xk, y1..yl] there is [z]
+    distinct from all, adjacent to every [xi], non-adjacent to every [yj].
+    [is_kec ~k g] iff [g] satisfies all axioms with [xs + ys ≤ k]. *)
+val extension_axiom : xs:int -> ys:int -> Fmtk_logic.Formula.t
+
+(** Generalized σ-extension property: every consistent one-element
+    extension of every induced substructure with ≤ k elements is realized.
+    For the graph signature this coincides with k-e.c. (up to the
+    symmetric/loop-free convention). Exponential in [k] and in the number
+    of atoms on the new element — use small [k]. *)
+val sigma_extension_holds : k:int -> Structure.t -> bool

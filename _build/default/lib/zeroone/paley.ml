@@ -1,0 +1,31 @@
+module Structure = Fmtk_structure.Structure
+module Signature = Fmtk_logic.Signature
+
+let is_prime n =
+  if n < 2 then false
+  else
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+
+let graph q =
+  if not (is_prime q && q mod 4 = 1) then
+    invalid_arg "Paley.graph: need a prime q with q mod 4 = 1";
+  let residue = Array.make q false in
+  for a = 1 to q - 1 do
+    residue.(a * a mod q) <- true
+  done;
+  let tuples = ref [] in
+  for a = 0 to q - 1 do
+    for b = 0 to q - 1 do
+      if a <> b && residue.((a - b + q) mod q) then
+        tuples := [| a; b |] :: !tuples
+    done
+  done;
+  Structure.make Signature.graph ~size:q [ ("E", !tuples) ]
+
+let order_for ~k =
+  let lower = k * k * (1 lsl ((2 * k) - 2)) in
+  let rec next q = if is_prime q && q mod 4 = 1 then q else next (q + 1) in
+  next (max 5 lower)
+
+let witness ~k = graph (order_for ~k)

@@ -1,0 +1,24 @@
+(** Paley graphs: deterministic witnesses for the almost-sure theory.
+
+    For a prime [q ≡ 1 (mod 4)], the Paley graph on [Z_q] joins [a ~ b]
+    iff [a − b] is a nonzero quadratic residue. Paley graphs are
+    self-complementary, strongly regular, and — the property used here —
+    k-e.c. as soon as [q ≥ k² 2^(2k−2)] (Bollobás–Thomason/Blass–Exoo–
+    Harary), so they serve as concrete finite models of the extension
+    axioms. *)
+
+module Structure = Fmtk_structure.Structure
+
+(** [graph q] builds the Paley graph (symmetric edge relation ["E"]).
+    @raise Invalid_argument unless [q] is a prime with [q ≡ 1 (mod 4)]. *)
+val graph : int -> Structure.t
+
+(** Smallest suitable prime [≥ max lower (k² · 2^(2k−2))]: the default
+    order for a k-e.c. witness. *)
+val order_for : k:int -> int
+
+(** [witness ~k] — a Paley graph guaranteed k-e.c. (also verified once by
+    {!Extension.is_kec} in the test suite; see E16). *)
+val witness : k:int -> Structure.t
+
+val is_prime : int -> bool

@@ -1,0 +1,13 @@
+  $ ../bin/fmtk_cli.exe eval cycle:6 "forall x. exists y. E(x,y)"
+  $ ../bin/fmtk_cli.exe eval order:4 "exists x y. x < y" --ra
+  $ ../bin/fmtk_cli.exe game order:4 order:5 --rounds 2
+  $ ../bin/fmtk_cli.exe game order:2 order:3 --rounds 2 --distinguish
+  $ ../bin/fmtk_cli.exe reduce --trick conn -n 5
+  $ ../bin/fmtk_cli.exe census chain:5 --radius 1
+  $ ../bin/fmtk_cli.exe hanf cycle:14 ../data/two_cycles.fmtk --radius 2
+  $ ../bin/fmtk_cli.exe circuit "exists x. E(x,x)" -n 4
+  $ ../bin/fmtk_cli.exe datalog chain:4 --program tc
+  $ ../bin/fmtk_cli.exe ifp chain:4 --query tc
+  $ ../bin/fmtk_cli.exe qbf -n 2
+  $ ../bin/fmtk_cli.exe mso cycle:6 --query conn
+  $ ../bin/fmtk_cli.exe mso order:6 --query even

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Fmtk_circuits Fmtk_eval Fmtk_logic Fmtk_structure Fun List Printf QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fmtk Fmtk_datalog Fmtk_games Fmtk_logic Fmtk_structure List Printf Random

@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Array Fmtk Fmtk_counting Fmtk_db Fmtk_eval Fmtk_locality Fmtk_logic Fmtk_structure List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Fmtk_datalog Fmtk_logic Fmtk_structure Fun List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Fmtk_db Fmtk_eval Fmtk_logic Fmtk_structure List QCheck2 QCheck_alcotest

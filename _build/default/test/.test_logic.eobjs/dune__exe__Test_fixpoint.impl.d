@@ -1,0 +1,1 @@
+test/test_fixpoint.ml: Alcotest Fmtk_datalog Fmtk_eval Fmtk_fixpoint Fmtk_logic Fmtk_structure List Printf QCheck2 QCheck_alcotest

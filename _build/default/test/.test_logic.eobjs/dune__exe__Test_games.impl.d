@@ -1,0 +1,1 @@
+test/test_games.ml: Alcotest Array Fmtk_eval Fmtk_games Fmtk_logic Fmtk_structure List Printf QCheck2 QCheck_alcotest

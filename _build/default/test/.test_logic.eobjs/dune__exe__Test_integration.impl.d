@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Fmtk Fmtk_circuits Fmtk_datalog Fmtk_db Fmtk_eval Fmtk_games Fmtk_locality Fmtk_logic Fmtk_structure List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_locality.ml: Alcotest Array Fmtk_datalog Fmtk_eval Fmtk_locality Fmtk_logic Fmtk_structure List Printf Random

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Fmtk_eval Fmtk_logic Fmtk_structure List Printf QCheck2 QCheck_alcotest String

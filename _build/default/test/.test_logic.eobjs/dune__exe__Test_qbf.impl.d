@@ -1,0 +1,1 @@
+test/test_qbf.ml: Alcotest Fmtk_logic Fmtk_qbf Fmtk_structure Format List QCheck2 QCheck_alcotest

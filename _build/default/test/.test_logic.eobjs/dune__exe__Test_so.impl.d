@@ -1,0 +1,1 @@
+test/test_so.ml: Alcotest Fmtk_eval Fmtk_logic Fmtk_so Fmtk_structure List Printf QCheck2 QCheck_alcotest

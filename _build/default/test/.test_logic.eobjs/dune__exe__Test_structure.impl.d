@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Array Fmtk_logic Fmtk_structure Fun List QCheck2 QCheck_alcotest Random

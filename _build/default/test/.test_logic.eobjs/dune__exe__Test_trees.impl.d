@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Fmtk_logic Fmtk_structure Fmtk_trees Format List QCheck2 QCheck_alcotest Random

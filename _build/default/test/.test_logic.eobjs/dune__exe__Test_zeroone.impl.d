@@ -1,0 +1,1 @@
+test/test_zeroone.ml: Alcotest Array Float Fmtk_eval Fmtk_logic Fmtk_structure Fmtk_zeroone Lazy List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,71 @@
+CLI smoke tests — each subcommand exercised once with deterministic output.
+
+FO evaluation (direct and through the RA compiler):
+
+  $ ../bin/fmtk_cli.exe eval cycle:6 "forall x. exists y. E(x,y)"
+  true
+  $ ../bin/fmtk_cli.exe eval order:4 "exists x y. x < y" --ra
+  true
+
+Ehrenfeucht-Fraisse games, with distinguishing-sentence extraction:
+
+  $ ../bin/fmtk_cli.exe game order:4 order:5 --rounds 2
+  duplicator wins the 2-round game
+  $ ../bin/fmtk_cli.exe game order:2 order:3 --rounds 2 --distinguish
+  duplicator loses the 2-round game
+  distinguishing sentence (qr ≤ 2): forall x1. (forall x2. x1 = x2 | !lt(x2, x1)) | (forall x2. lt(x2, x1) | x1 = x2)
+
+The reduction trick of section 3.3 (order of size 5 -> connected graph):
+
+  $ ../bin/fmtk_cli.exe reduce --trick conn -n 5
+  domain: 0..4
+  E = {(0,2), (1,3), (2,4), (3,0), (4,1)}
+  
+  components: 1 (order size 5 is odd)
+
+Neighborhood census and Hanf equivalence (slide-60 example):
+
+  $ ../bin/fmtk_cli.exe census chain:5 --radius 1
+  radius-1 neighborhood census (3 types):
+    type 0: 1 element(s), ball size 2
+    type 1: 3 element(s), ball size 3
+    type 2: 1 element(s), ball size 2
+  $ ../bin/fmtk_cli.exe hanf cycle:14 ../data/two_cycles.fmtk --radius 2
+  G ⇆2 G': true
+
+AC0 circuits:
+
+  $ ../bin/fmtk_cli.exe circuit "exists x. E(x,x)" -n 4
+  domain size 4: circuit size 5, depth 1, 4 inputs
+
+Datalog and fixpoint logic on a 4-chain:
+
+  $ ../bin/fmtk_cli.exe datalog chain:4 --program tc
+  tc: 6 tuples (4 iterations, 27 join steps)
+  (0,1)
+  (0,2)
+  (0,3)
+  (1,2)
+  (1,3)
+  (2,3)
+  $ ../bin/fmtk_cli.exe ifp chain:4 --query tc
+  tc: 6 pairs
+  (0,1)
+  (0,2)
+  (0,3)
+  (1,2)
+  (1,3)
+  (2,3)
+  (4 fixpoint stages, 64 tuples tested)
+
+QBF and the PSPACE reduction:
+
+  $ ../bin/fmtk_cli.exe qbf -n 2
+  pigeonhole(2): 6 quantifiers, QBF solver: true, via FO model checking: true
+
+MSO connectivity and MSO-EVEN over orders:
+
+  $ ../bin/fmtk_cli.exe mso cycle:6 --query conn
+  true
+  $ ../bin/fmtk_cli.exe mso order:6 --query even
+  true

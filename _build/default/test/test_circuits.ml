@@ -1,0 +1,188 @@
+(* Tests for Fmtk_circuits: boolean circuits and the FO -> AC0 compilation
+   of slides 20-23. *)
+
+module Signature = Fmtk_logic.Signature
+module Parser = Fmtk_logic.Parser
+module Structure = Fmtk_structure.Structure
+module Gen = Fmtk_structure.Gen
+module Eval = Fmtk_eval.Eval
+module Circuit = Fmtk_circuits.Circuit
+module Fo_circuit = Fmtk_circuits.Fo_circuit
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+let f = Parser.parse_exn
+
+(* ---------- Raw circuits ---------- *)
+
+let test_gate_evaluation () =
+  let c = Circuit.create () in
+  let p = Circuit.input c "p" and q = Circuit.input c "q" in
+  (* (!p | q) & (p & !q)  — the slide-21 example, evaluated. *)
+  let left = Circuit.or_ c [ Circuit.not_ c p; q ] in
+  let right = Circuit.and_ c [ p; Circuit.not_ c q ] in
+  let out = Circuit.and_ c [ left; right ] in
+  let env p_v q_v name =
+    match name with
+    | "p" -> p_v
+    | "q" -> q_v
+    | _ -> raise Not_found
+  in
+  checkb "p=1 q=0" false (Circuit.eval c ~output:out (env true false));
+  checkb "p=1 q=1" false (Circuit.eval c ~output:out (env true true));
+  checkb "p=0 q=0" false (Circuit.eval c ~output:out (env false false))
+
+let test_constant_folding () =
+  let c = Circuit.create () in
+  let p = Circuit.input c "p" in
+  checkb "and [] = true" true
+    (Circuit.eval c ~output:(Circuit.and_ c []) (fun _ -> false));
+  checkb "or [] = false" false
+    (Circuit.eval c ~output:(Circuit.or_ c []) (fun _ -> true));
+  let t = Circuit.const c true in
+  checkb "and [p; true] folds to p" true (Circuit.and_ c [ p; t ] = p);
+  checkb "double negation folds" true (Circuit.not_ c (Circuit.not_ c p) = p);
+  let fgate = Circuit.const c false in
+  checkb "or [p; false] folds to p" true (Circuit.or_ c [ p; fgate ] = p)
+
+let test_hash_consing () =
+  let c = Circuit.create () in
+  let p = Circuit.input c "p" and q = Circuit.input c "q" in
+  let a1 = Circuit.and_ c [ p; q ] and a2 = Circuit.and_ c [ q; p ] in
+  checkb "commutative sharing" true (a1 = a2);
+  let big = Circuit.or_ c [ a1; a2 ] in
+  checkb "or of shared node folds to it" true (big = a1)
+
+let test_size_depth () =
+  let c = Circuit.create () in
+  let p = Circuit.input c "p" and q = Circuit.input c "q" in
+  let out = Circuit.and_ c [ Circuit.or_ c [ p; q ]; Circuit.not_ c p ] in
+  checki "size counts all reachable gates" 5 (Circuit.size c ~output:out);
+  checki "depth" 2 (Circuit.depth c ~output:out);
+  checkb "inputs" true (Circuit.inputs c ~output:out = [ "p"; "q" ])
+
+(* ---------- FO -> circuit ---------- *)
+
+let compiled_matches phi n trials seed =
+  let compiled = Fo_circuit.compile Signature.graph ~size:n phi in
+  let rng = Random.State.make [| seed |] in
+  List.for_all
+    (fun _ ->
+      let s = Gen.random_graph ~rng n 0.4 in
+      Fo_circuit.run compiled s = Eval.sat s phi)
+    (List.init trials Fun.id)
+
+let test_fo_circuit_agreement () =
+  List.iter
+    (fun q ->
+      checkb q true (compiled_matches (f q) 5 25 11))
+    [
+      "exists x. E(x,x)";
+      "forall x. exists y. E(x,y)";
+      "exists x y. E(x,y) & !E(y,x)";
+      "forall x y. E(x,y) -> E(y,x)";
+      "exists x. forall y. x = y | E(x,y)";
+      "forall x y z. (E(x,y) & E(y,z)) -> E(x,z)";
+      "true";
+      "false";
+    ]
+
+let test_fo_circuit_depth_constant_in_n () =
+  (* AC0: depth must not grow with n. *)
+  let phi = f "forall x. exists y. E(x,y) & !E(y,x)" in
+  let depths =
+    List.map
+      (fun n ->
+        Fo_circuit.circuit_depth (Fo_circuit.compile Signature.graph ~size:n phi))
+      [ 2; 4; 8; 16 ]
+  in
+  match depths with
+  | d :: rest -> List.iter (fun d' -> checki "depth constant" d d') rest
+  | [] -> assert false
+
+let test_fo_circuit_size_polynomial () =
+  (* Size grows, but polynomially: for this qr-2 sentence at most c*n^2. *)
+  let phi = f "forall x. exists y. E(x,y)" in
+  List.iter
+    (fun n ->
+      let size =
+        Fo_circuit.circuit_size (Fo_circuit.compile Signature.graph ~size:n phi)
+      in
+      checkb
+        (Printf.sprintf "size(%d)=%d <= 3n^2+n+2" n size)
+        true
+        (size <= (3 * n * n) + n + 2))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_fo_circuit_inputs () =
+  let phi = f "exists x y. E(x,y)" in
+  let compiled = Fo_circuit.compile Signature.graph ~size:3 phi in
+  checki "9 ground atoms" 9 (Fo_circuit.input_count compiled)
+
+let test_fo_circuit_validation () =
+  let expect_invalid g =
+    try
+      ignore (Fo_circuit.compile Signature.graph ~size:3 g);
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid (f "E(x,y)");
+  expect_invalid (f "exists x. P(x)");
+  let sg_c = Signature.make ~consts:[ "a" ] [ ("E", 2) ] in
+  try
+    ignore (Fo_circuit.compile sg_c ~size:3 (f "exists x. E(x,'a)"));
+    Alcotest.fail "constants must be rejected"
+  with Invalid_argument _ -> ()
+
+let test_run_size_mismatch () =
+  let compiled = Fo_circuit.compile Signature.graph ~size:4 (f "exists x. E(x,x)") in
+  try
+    ignore (Fo_circuit.run compiled (Gen.cycle 5));
+    Alcotest.fail "expected size mismatch"
+  with Invalid_argument _ -> ()
+
+(* ---------- QCheck ---------- *)
+
+let gen_sentence =
+  QCheck2.Gen.oneofl
+    (List.map f
+       [
+         "exists x. E(x,x)";
+         "forall x. exists y. E(x,y)";
+         "exists x y. E(x,y) & E(y,x)";
+         "forall x y. E(x,y) -> E(y,x)";
+         "exists x. forall y. E(x,y) | x = y";
+       ])
+
+let prop_circuit_equals_eval =
+  QCheck2.Test.make ~count:100 ~name:"compiled circuit = naive evaluation"
+    QCheck2.Gen.(triple gen_sentence (int_range 1 6) (int_range 0 10000))
+    (fun (phi, n, seed) ->
+      let compiled = Fo_circuit.compile Signature.graph ~size:n phi in
+      let rng = Random.State.make [| seed |] in
+      let s = Gen.random_graph ~rng n 0.5 in
+      Fo_circuit.run compiled s = Eval.sat s phi)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_circuit_equals_eval ]
+
+let () =
+  Alcotest.run "fmtk_circuits"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "gate evaluation" `Quick test_gate_evaluation;
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "size and depth" `Quick test_size_depth;
+        ] );
+      ( "fo-circuit",
+        [
+          Alcotest.test_case "agreement with eval" `Quick test_fo_circuit_agreement;
+          Alcotest.test_case "depth constant in n" `Quick test_fo_circuit_depth_constant_in_n;
+          Alcotest.test_case "size polynomial in n" `Quick test_fo_circuit_size_polynomial;
+          Alcotest.test_case "ground-atom inputs" `Quick test_fo_circuit_inputs;
+          Alcotest.test_case "validation" `Quick test_fo_circuit_validation;
+          Alcotest.test_case "size mismatch" `Quick test_run_size_mismatch;
+        ] );
+      ("properties", qcheck_cases);
+    ]

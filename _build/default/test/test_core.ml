@@ -1,0 +1,278 @@
+(* Tests for the Fmtk core toolbox: the query zoo, the §3.3 reduction
+   tricks, and the inexpressibility method runners. *)
+
+module Queries = Fmtk.Queries
+module Reductions = Fmtk.Reductions
+module Method = Fmtk.Method
+module Signature = Fmtk_logic.Signature
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+module Graph = Fmtk_structure.Graph
+module Gen = Fmtk_structure.Gen
+module Strategy = Fmtk_games.Strategy
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let rng () = Random.State.make [| 5 |]
+
+let graph_of edges ~size =
+  Structure.make Signature.graph ~size
+    [ ("E", List.map (fun (u, v) -> [| u; v |]) edges) ]
+
+(* ---------- Query zoo ---------- *)
+
+let test_boolean_zoo () =
+  checkb "even 4" true (Queries.even (Gen.set 4));
+  checkb "odd 5" false (Queries.even (Gen.set 5));
+  checkb "cycle connected" true (Queries.connected (Gen.cycle 4));
+  checkb "two cycles not" false
+    (Queries.connected (Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ]));
+  checkb "path acyclic" true (Queries.acyclic (Gen.path 4));
+  checkb "binary tree is tree" true (Queries.is_tree (Gen.binary_tree 2))
+
+let test_fo_controls () =
+  let g = graph_of [ (0, 1); (0, 2); (1, 0) ] ~size:3 in
+  checkb "dominator 0" true (Queries.dominator g);
+  checkb "not symmetric" false (Queries.symmetric g);
+  checkb "no isolated" false (Queries.isolated g);
+  let g2 = graph_of [ (0, 1) ] ~size:3 in
+  checkb "2 is isolated" true (Queries.isolated g2);
+  checkb "path2 composition" true
+    (Tuple.Set.mem [| 1; 1 |] (Queries.path2 g));
+  checkb "symmetric pair" true
+    (Tuple.Set.mem [| 0; 1 |] (Queries.symmetric_pair g))
+
+let test_same_generation_query () =
+  let t = Gen.binary_tree 2 in
+  let sg = Queries.same_generation t in
+  checkb "siblings same generation" true (Tuple.Set.mem [| 1; 2 |] sg);
+  checkb "parent-child not" false (Tuple.Set.mem [| 0; 1 |] sg)
+
+(* ---------- Reduction tricks (§3.3) ---------- *)
+
+let test_conn_construction_parity () =
+  for n = 2 to 24 do
+    let g = Reductions.conn_construction (Gen.linear_order n) in
+    checkb
+      (Printf.sprintf "order %d: connected iff odd" n)
+      (n mod 2 = 1) (Graph.connected g);
+    let components = Graph.component_count g in
+    if n mod 2 = 0 then
+      checkb (Printf.sprintf "order %d: two components" n) true (components = 2)
+  done
+
+let test_conn_construction_matches_direct () =
+  for n = 1 to 20 do
+    checkb
+      (Printf.sprintf "FO construction = direct at n=%d" n)
+      true
+      (Structure.equal
+         (Reductions.conn_construction (Gen.linear_order n))
+         (Reductions.conn_construction_direct (Gen.linear_order n)))
+  done
+
+let test_conn_construction_figure () =
+  (* The slide-48 figure: 5 elements -> connected ring 0-2-4-1-3;
+     6 elements -> two triangles {0,2,4} and {1,3,5}. *)
+  let g5 = Reductions.conn_construction (Gen.linear_order 5) in
+  List.iter
+    (fun (u, v) ->
+      checkb (Printf.sprintf "edge %d->%d" u v) true (Structure.mem g5 "E" [| u; v |]))
+    [ (0, 2); (1, 3); (2, 4); (4, 1); (3, 0) ];
+  checkb "5 edges total" true (Tuple.Set.cardinal (Structure.rel g5 "E") = 5);
+  let g6 = Reductions.conn_construction (Gen.linear_order 6) in
+  checkb "6: disconnected" false (Graph.connected g6);
+  checkb "6: two components" true (Graph.component_count g6 = 2)
+
+let test_acycl_construction_parity () =
+  for n = 1 to 24 do
+    let g = Reductions.acycl_construction (Gen.linear_order n) in
+    checkb
+      (Printf.sprintf "order %d: acyclic iff even" n)
+      (n mod 2 = 0) (Graph.acyclic g);
+    checkb
+      (Printf.sprintf "FO = direct at n=%d" n)
+      true
+      (Structure.equal g (Reductions.acycl_construction_direct (Gen.linear_order n)))
+  done
+
+let test_connectivity_via_tc () =
+  let graphs =
+    [
+      Gen.cycle 5;
+      Gen.path 6;
+      Gen.union_of [ Gen.cycle 3; Gen.cycle 4 ];
+      graph_of [] ~size:3;
+      graph_of [] ~size:1;
+    ]
+  in
+  List.iter
+    (fun g ->
+      checkb "via-TC = direct connectivity"
+        (Graph.connected g)
+        (Reductions.connectivity_via_tc ~tc:Graph.transitive_closure g))
+    graphs;
+  (* Also with the Datalog TC as the oracle. *)
+  List.iter
+    (fun g ->
+      checkb "via datalog TC"
+        (Graph.connected g)
+        (Reductions.connectivity_via_tc ~tc:Fmtk_datalog.Programs.tc_of g))
+    graphs
+
+(* ---------- Method runners ---------- *)
+
+let test_game_method_even () =
+  (* EVEN on sets: witnesses 2n vs 2n+1. *)
+  for n = 1 to 3 do
+    checkb
+      (Printf.sprintf "EVEN certificate at rank %d" n)
+      true
+      (Method.game_rank ~rounds:n ~query:Queries.even (Gen.set (2 * n))
+         (Gen.set ((2 * n) + 1))
+      = Ok ())
+  done;
+  (* Sanity: too-small witnesses are rejected with the right message. *)
+  checkb "spoiler wins on tiny witnesses" true
+    (Method.game_rank ~rounds:3 ~query:Queries.even (Gen.set 2) (Gen.set 3)
+    <> Ok ());
+  (* Swapped witnesses fail premise 1. *)
+  checkb "wrong witness order detected" true
+    (Method.game_rank ~rounds:1 ~query:Queries.even (Gen.set 3) (Gen.set 2)
+    = Error "witness A does not satisfy the query")
+
+let test_game_method_even_orders () =
+  (* EVEN over linear orders at rank 4 via the closed-form strategy:
+     L16 vs L17 (both >= 2^4). *)
+  let a = Gen.linear_order 16 and b = Gen.linear_order 17 in
+  checkb "strategy-certified rank-4 EVEN(<)" true
+    (Method.game_rank_with_strategy ~rounds:4 ~query:Queries.even
+       ~strategy:(Strategy.linear_orders 16 17) a b
+    = Ok ())
+
+let test_hanf_method_conn () =
+  let m = 7 in
+  let g2m = Gen.cycle (2 * m) in
+  let gmm = Gen.union_of [ Gen.cycle m; Gen.cycle m ] in
+  checkb "CONN not Hanf-local at r=2" true
+    (Method.hanf_violation ~radius:2 ~query:Queries.connected g2m gmm = Ok ());
+  (* Wrong radius: neighborhoods see the whole cycle. *)
+  checkb "radius too large" true
+    (Method.hanf_violation ~radius:4 ~query:Queries.connected g2m gmm <> Ok ())
+
+let test_gaifman_method_tc () =
+  match
+    Method.gaifman_violation ~arity:2 ~radius:1
+      ~query:Queries.transitive_closure (Gen.path 12)
+  with
+  | Ok (_, _) -> ()
+  | Error e -> Alcotest.fail e
+
+let test_bndp_method () =
+  let family = List.map Gen.successor [ 4; 8; 16 ] in
+  checkb "TC violates BNDP" true
+    (Method.bndp_violation ~degree_bound:1 ~must_exceed:6
+       ~query:Queries.transitive_closure family
+    = Ok ());
+  checkb "path2 does not" true
+    (Method.bndp_violation ~degree_bound:1 ~must_exceed:6 ~query:Queries.path2
+       family
+    <> Ok ())
+
+let test_zero_one_method () =
+  checkb "EVEN alternates" true
+    (Method.zero_one_alternation ~rng:(rng ()) ~samples:4
+       ~sizes:[ 2; 3; 4; 5; 6 ] ~query:Queries.even Signature.graph
+    = Ok ());
+  (* A query with a limit does not alternate. *)
+  checkb "'has edge' does not alternate" true
+    (Method.zero_one_alternation ~rng:(rng ()) ~samples:4 ~sizes:[ 4; 5; 6 ]
+       ~query:(fun s -> Tuple.Set.cardinal (Structure.rel s "E") > 0)
+       Signature.graph
+    <> Ok ())
+
+(* ---------- Order invariance (§3.6) ---------- *)
+
+module Order_invariance = Fmtk.Order_invariance
+module Parser = Fmtk_logic.Parser
+
+let test_with_order () =
+  let g = graph_of [ (0, 1) ] ~size:3 in
+  let ordered = Order_invariance.with_order g ~perm:[| 2; 0; 1 |] in
+  checkb "2 < 0 in chosen order" true (Structure.mem ordered "lt" [| 2; 0 |]);
+  checkb "0 < 1" true (Structure.mem ordered "lt" [| 0; 1 |]);
+  checkb "edge kept" true (Structure.mem ordered "E" [| 0; 1 |]);
+  (try
+     ignore (Order_invariance.with_order ordered ~perm:[| 0; 1; 2 |]);
+     Alcotest.fail "double order must be rejected"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Order_invariance.with_order g ~perm:[| 0; 0; 2 |]);
+    Alcotest.fail "non-permutation must be rejected"
+  with Invalid_argument _ -> ()
+
+let test_order_invariance () =
+  let g = graph_of [ (0, 0); (1, 2) ] ~size:4 in
+  (* Order-independent: a loop exists. *)
+  let invariant = Parser.parse_exn "exists x. E(x,x)" in
+  checkb "loop query invariant" true
+    (Order_invariance.invariant_exhaustive g invariant = Some true);
+  (* Order-dependent: the <-largest element has a loop. *)
+  let dependent =
+    Parser.parse_exn "exists x. (forall y. x = y | y < x) & E(x,x)"
+  in
+  checkb "largest-has-loop depends on the order" true
+    (Order_invariance.invariant_exhaustive g dependent = Some false);
+  (* Sampled agrees on the conclusive direction. *)
+  checkb "sampled detects dependence" false
+    (Order_invariance.invariant_sampled ~rng:(rng ()) ~trials:200 g dependent);
+  checkb "sampled passes invariant query" true
+    (Order_invariance.invariant_sampled ~rng:(rng ()) ~trials:50 g invariant);
+  (* Large domains refuse exhaustive enumeration. *)
+  checkb "too large for exhaustive" true
+    (Order_invariance.invariant_exhaustive (Gen.set 9) invariant = None)
+
+let test_verify_sampled () =
+  let a = Gen.linear_order 16 and b = Gen.linear_order 17 in
+  checkb "sampled verification of the order strategy" true
+    (Strategy.verify_sampled ~rng:(rng ()) ~lines:2000 ~rounds:4 a b
+       (Strategy.linear_orders 16 17)
+    = None);
+  (* A deliberately broken strategy loses quickly. *)
+  let broken ~rounds_left:_ _pairs _side _e = 0 in
+  checkb "broken strategy caught" true
+    (Strategy.verify_sampled ~rng:(rng ()) ~lines:2000 ~rounds:2 a b broken
+    <> None)
+
+let () =
+  Alcotest.run "fmtk_core"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "boolean zoo" `Quick test_boolean_zoo;
+          Alcotest.test_case "FO controls" `Quick test_fo_controls;
+          Alcotest.test_case "same generation" `Quick test_same_generation_query;
+        ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "CONN parity" `Quick test_conn_construction_parity;
+          Alcotest.test_case "FO = direct" `Quick test_conn_construction_matches_direct;
+          Alcotest.test_case "slide-48 figure" `Quick test_conn_construction_figure;
+          Alcotest.test_case "ACYCL parity" `Quick test_acycl_construction_parity;
+          Alcotest.test_case "CONN via TC" `Quick test_connectivity_via_tc;
+        ] );
+      ( "methods",
+        [
+          Alcotest.test_case "game: EVEN on sets" `Quick test_game_method_even;
+          Alcotest.test_case "game: EVEN on orders (strategy)" `Slow test_game_method_even_orders;
+          Alcotest.test_case "hanf: CONN" `Quick test_hanf_method_conn;
+          Alcotest.test_case "gaifman: TC" `Quick test_gaifman_method_tc;
+          Alcotest.test_case "bndp: TC vs path2" `Quick test_bndp_method;
+          Alcotest.test_case "0-1: EVEN" `Quick test_zero_one_method;
+        ] );
+      ( "order-invariance",
+        [
+          Alcotest.test_case "with_order" `Quick test_with_order;
+          Alcotest.test_case "invariance" `Quick test_order_invariance;
+          Alcotest.test_case "sampled strategy verify" `Quick test_verify_sampled;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* Tests for Fmtk_fixpoint: FO(IFP) syntax, evaluation, and the canonical
+   fixpoint definitions (TC, connectivity, EVEN-with-order). *)
+
+module Fp = Fmtk_fixpoint.Fp_formula
+module Fp_eval = Fmtk_fixpoint.Fp_eval
+module Signature = Fmtk_logic.Signature
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+module Graph = Fmtk_structure.Graph
+module Gen = Fmtk_structure.Gen
+module Eval = Fmtk_eval.Eval
+module Parser = Fmtk_logic.Parser
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+let v x = Fmtk_logic.Term.Var x
+
+let graph_of edges ~size =
+  Structure.make Signature.graph ~size
+    [ ("E", List.map (fun (u, v) -> [| u; v |]) edges) ]
+
+(* ---------- Syntax ---------- *)
+
+let test_of_fo_agrees () =
+  let fo = Parser.parse_exn "forall x. exists y. E(x,y) | E(y,x)" in
+  List.iter
+    (fun g ->
+      checkb "FO fragment agrees" (Eval.sat g fo) (Fp_eval.sat g (Fp.of_fo fo)))
+    [ Gen.cycle 4; Gen.path 4; graph_of [] ~size:2 ]
+
+let test_free_vars () =
+  Alcotest.(check (list string))
+    "TC has free u, v" [ "u"; "v" ]
+    (Fp.free_vars Fp.transitive_closure);
+  Alcotest.(check (list string)) "connectivity closed" [] (Fp.free_vars Fp.connectivity);
+  Alcotest.(check (list string)) "even closed" [] (Fp.free_vars Fp.even_on_orders)
+
+let test_positivity () =
+  (* positivity is a property of the operator's body (the operator itself
+     rebinds its relation variable). *)
+  let tc_body =
+    Fp.Or
+      ( Fp.Rel ("E", [ v "x"; v "y" ]),
+        Fp.Exists
+          ( "z",
+            Fp.And (Fp.Rel ("T", [ v "x"; v "z" ]), Fp.Rel ("E", [ v "z"; v "y" ]))
+          ) )
+  in
+  checkb "TC body positive in T" true (Fp.positive_in "T" tc_body);
+  checkb "negated occurrence detected" false
+    (Fp.positive_in "T" (Fp.Not (Fp.Rel ("T", [ v "x" ]))));
+  checkb "rebinding masks inner occurrences" true
+    (Fp.positive_in "T"
+       (Fp.Ifp ("T", [ "x" ], Fp.Not (Fp.Rel ("T", [ v "x" ])), [ v "u" ])));
+  checkb "left of implies is negative" false
+    (Fp.positive_in "T" (Fp.Implies (Fp.Rel ("T", [ v "x" ]), Fp.True)));
+  checki "ifp depth" 1 (Fp.ifp_depth Fp.transitive_closure)
+
+(* ---------- TC via IFP ---------- *)
+
+let test_tc () =
+  let graphs =
+    [
+      Gen.successor 6;
+      Gen.cycle 4;
+      graph_of [ (0, 1); (1, 2); (2, 0); (3, 3) ] ~size:5;
+      graph_of [] ~size:3;
+    ]
+  in
+  List.iter
+    (fun g ->
+      let via_ifp =
+        Fp_eval.answers g Fp.transitive_closure ~vars:[ "u"; "v" ]
+      in
+      checkb "IFP TC = matrix TC" true
+        (Tuple.Set.equal via_ifp (Graph.transitive_closure g)))
+    graphs
+
+let test_tc_stages () =
+  (* On an n-chain the fixpoint needs ~n stages; the stats expose the
+     inherently-iterative nature FO lacks. *)
+  let stats = Fp_eval.new_stats () in
+  ignore
+    (Fp_eval.holds ~stats (Gen.successor 8) Fp.transitive_closure
+       ~env:[ ("u", 0); ("v", 7) ]);
+  checkb "at least 7 stages" true (stats.Fp_eval.stages >= 7)
+
+(* ---------- Connectivity ---------- *)
+
+let test_connectivity () =
+  List.iter
+    (fun g ->
+      checkb "IFP connectivity = BFS" (Graph.connected g)
+        (Fp_eval.sat g Fp.connectivity))
+    [
+      Gen.cycle 5;
+      Gen.path 5;
+      Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ];
+      Gen.binary_tree 2;
+      graph_of [] ~size:1;
+    ]
+
+(* ---------- EVEN over orders (Immerman–Vardi flavour) ---------- *)
+
+let test_even_on_orders () =
+  for n = 1 to 9 do
+    checkb
+      (Printf.sprintf "IFP even on L%d" n)
+      (n mod 2 = 0)
+      (Fp_eval.sat (Gen.linear_order n) Fp.even_on_orders)
+  done
+
+(* ---------- Nested/parameterized fixpoints ---------- *)
+
+let test_parameterized_fixpoint () =
+  (* Reachability from a fixed source held in an outer variable:
+     phi(s, t) = [IFP R(y). y = s | ∃z (R(z) ∧ E(z,y))](t). *)
+  let body =
+    Fp.Or
+      ( Fp.Eq (v "y", v "s"),
+        Fp.Exists
+          ("z", Fp.And (Fp.Rel ("R", [ v "z" ]), Fp.Rel ("E", [ v "z"; v "y" ]))) )
+  in
+  let reach = Fp.Ifp ("R", [ "y" ], body, [ v "t" ]) in
+  let g = graph_of [ (0, 1); (1, 2); (3, 0) ] ~size:4 in
+  let holds s t = Fp_eval.holds g reach ~env:[ ("s", s); ("t", t) ] in
+  checkb "0 reaches 2" true (holds 0 2);
+  checkb "0 does not reach 3" false (holds 0 3);
+  checkb "3 reaches 2" true (holds 3 2);
+  checkb "source reaches itself" true (holds 2 2)
+
+let test_errors () =
+  (try
+     ignore (Fp_eval.sat (Gen.set 2) Fp.transitive_closure);
+     Alcotest.fail "free variables must be rejected"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Fp_eval.sat (Gen.set 2)
+         (Fp.Exists
+            ("w", Fp.Ifp ("T", [ "x" ], Fp.Rel ("Q", [ v "x" ]), [ v "w" ]))));
+    Alcotest.fail "unknown relation must be rejected"
+  with Invalid_argument _ -> ()
+
+(* ---------- QCheck ---------- *)
+
+let gen_graph =
+  let open QCheck2.Gen in
+  let* n = int_range 1 6 in
+  let* edges =
+    list_size (int_range 0 (n * 2))
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+  in
+  return (graph_of edges ~size:n)
+
+let prop_tc =
+  QCheck2.Test.make ~count:100 ~name:"IFP TC = matrix TC on random graphs"
+    gen_graph (fun g ->
+      Tuple.Set.equal
+        (Fp_eval.answers g Fp.transitive_closure ~vars:[ "u"; "v" ])
+        (Graph.transitive_closure g))
+
+let prop_conn =
+  QCheck2.Test.make ~count:100 ~name:"IFP connectivity on random graphs"
+    gen_graph (fun g -> Fp_eval.sat g Fp.connectivity = Graph.connected g)
+
+let prop_datalog_agrees =
+  QCheck2.Test.make ~count:60 ~name:"IFP TC = Datalog TC" gen_graph (fun g ->
+      Tuple.Set.equal
+        (Fp_eval.answers g Fp.transitive_closure ~vars:[ "u"; "v" ])
+        (Fmtk_datalog.Programs.tc_of g))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_tc; prop_conn; prop_datalog_agrees ]
+
+let () =
+  Alcotest.run "fmtk_fixpoint"
+    [
+      ( "syntax",
+        [
+          Alcotest.test_case "of_fo" `Quick test_of_fo_agrees;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "positivity" `Quick test_positivity;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_tc;
+          Alcotest.test_case "stage counting" `Quick test_tc_stages;
+          Alcotest.test_case "connectivity" `Quick test_connectivity;
+          Alcotest.test_case "EVEN over orders" `Quick test_even_on_orders;
+          Alcotest.test_case "parameterized fixpoint" `Quick test_parameterized_fixpoint;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ("properties", qcheck_cases);
+    ]

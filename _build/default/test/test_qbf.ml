@@ -1,0 +1,169 @@
+(* Tests for Fmtk_qbf: the QBF solver and the PSPACE-hardness reduction to
+   FO model checking (slides 17-19). *)
+
+module Qbf = Fmtk_qbf.Qbf
+module Reduction = Fmtk_qbf.Reduction
+module Formula = Fmtk_logic.Formula
+module Structure = Fmtk_structure.Structure
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+open Qbf
+
+(* ---------- Solver ---------- *)
+
+let test_slide_17_examples () =
+  (* ∃p∃q (p ∧ q) is satisfiable; ∃p (p ∧ ¬p) is not. *)
+  checkb "exists p q. p & q" true
+    (solve (Exists ("p", Exists ("q", And (Var "p", Var "q")))));
+  checkb "exists p. p & !p" false
+    (solve (Exists ("p", And (Var "p", Not (Var "p")))))
+
+let test_quantifier_semantics () =
+  checkb "forall p. p | !p" true (solve (Forall ("p", Or (Var "p", Not (Var "p")))));
+  checkb "forall p. p" false (solve (Forall ("p", Var "p")));
+  checkb "forall p exists q. p <-> q" true
+    (solve
+       (Forall
+          ( "p",
+            Exists
+              ( "q",
+                And
+                  ( Implies (Var "p", Var "q"),
+                    Implies (Var "q", Var "p") ) ) )));
+  checkb "exists q forall p. p <-> q" false
+    (solve
+       (Exists
+          ( "q",
+            Forall
+              ( "p",
+                And
+                  ( Implies (Var "p", Var "q"),
+                    Implies (Var "q", Var "p") ) ) )))
+
+let test_shadowing () =
+  (* Inner binder shadows outer. *)
+  checkb "forall p exists p. p" true (solve (Forall ("p", Exists ("p", Var "p"))))
+
+let test_free_vars () =
+  Alcotest.(check (list string))
+    "free vars" [ "p"; "q" ]
+    (free_vars (And (Var "p", Exists ("q", Var "q") |> fun e -> Or (e, Var "q"))));
+  checkb "closed" true (is_closed (Forall ("p", Var "p")));
+  checkb "open" false (is_closed (Var "p"));
+  try
+    ignore (solve (Var "p"));
+    Alcotest.fail "open QBF must be rejected"
+  with Invalid_argument _ -> ()
+
+let test_eval_env () =
+  let env name = name = "p" in
+  checkb "p & !q under p=1,q=0" true (eval env (And (Var "p", Not (Var "q"))));
+  checkb "q under p=1,q=0" false (eval env (Var "q"));
+  checkb "p | q" true (eval env (Or (Var "p", Var "q")))
+
+let test_quantifier_count () =
+  checki "count" 3
+    (quantifier_count
+       (Forall ("a", And (Exists ("b", Var "b"), Exists ("c", Var "c")))))
+
+let test_pigeonhole () =
+  (* Valid for every n (the pigeonhole principle). *)
+  checkb "php 1" true (solve (pigeonhole_valid 1));
+  checkb "php 2" true (solve (pigeonhole_valid 2));
+  (* A falsified variant: n+1 pigeons, n+1 holes has no forced collision:
+     negating the conclusion of php is satisfiable. *)
+  checki "php 2 has 6 quantifiers" 6 (quantifier_count (pigeonhole_valid 2))
+
+(* ---------- Reduction to FO model checking ---------- *)
+
+let test_target_structure () =
+  checki "two elements" 2 (Structure.size Reduction.target);
+  checkb "T = {1}" true (Structure.mem Reduction.target "T" [| 1 |]);
+  checkb "0 not in T" false (Structure.mem Reduction.target "T" [| 0 |])
+
+let test_translation_shape () =
+  let q = Exists ("p", And (Var "p", Not (Var "p"))) in
+  let phi = Reduction.translate q in
+  checkb "sentence" true (Formula.is_sentence phi);
+  checki "rank preserved" 1 (Formula.quantifier_rank phi)
+
+let qbf_battery =
+  [
+    Exists ("p", Var "p");
+    Forall ("p", Var "p");
+    Exists ("p", Exists ("q", And (Var "p", Var "q")));
+    Forall ("p", Exists ("q", And (Implies (Var "p", Var "q"), Implies (Var "q", Var "p"))));
+    Exists ("q", Forall ("p", Or (Var "p", Var "q")));
+    Forall ("p", Forall ("q", Or (Or (Var "p", Var "q"), Or (Not (Var "p"), Not (Var "q")))));
+    pigeonhole_valid 1;
+    pigeonhole_valid 2;
+  ]
+
+let test_reduction_agrees () =
+  List.iter
+    (fun q ->
+      let direct = solve q and via_fo = Reduction.decide_via_fo q in
+      checkb (Format.asprintf "%a" pp q) direct via_fo)
+    qbf_battery
+
+(* ---------- QCheck: random QBFs ---------- *)
+
+let gen_qbf : Qbf.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let vars = [ "a"; "b"; "c" ] in
+  let* body =
+    sized_size (int_range 0 6)
+    @@ fix (fun self n ->
+           if n <= 0 then oneof [ map (fun v -> Var v) (oneofl vars); return True; return False ]
+           else
+             oneof
+               [
+                 map (fun q -> Not q) (self (n - 1));
+                 map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Implies (a, b)) (self (n / 2)) (self (n / 2));
+               ])
+  in
+  (* Close with alternating quantifiers. *)
+  let close =
+    List.fold_left
+      (fun (acc, flip) v ->
+        ((if flip then Forall (v, acc) else Exists (v, acc)), not flip))
+      (body, true) vars
+  in
+  return (fst close)
+
+let prop_reduction_sound =
+  QCheck2.Test.make ~count:200 ~name:"QBF solve = FO model checking" gen_qbf
+    (fun q -> Qbf.solve q = Reduction.decide_via_fo q)
+
+let prop_duality =
+  QCheck2.Test.make ~count:200 ~name:"solve !q = not (solve q)" gen_qbf
+    (fun q -> Qbf.solve (Not q) = not (Qbf.solve q))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_reduction_sound; prop_duality ]
+
+let () =
+  Alcotest.run "fmtk_qbf"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "slide 17 examples" `Quick test_slide_17_examples;
+          Alcotest.test_case "quantifier semantics" `Quick test_quantifier_semantics;
+          Alcotest.test_case "shadowing" `Quick test_shadowing;
+          Alcotest.test_case "free variables" `Quick test_free_vars;
+          Alcotest.test_case "environment eval" `Quick test_eval_env;
+          Alcotest.test_case "quantifier count" `Quick test_quantifier_count;
+          Alcotest.test_case "pigeonhole battery" `Quick test_pigeonhole;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "target structure" `Quick test_target_structure;
+          Alcotest.test_case "translation shape" `Quick test_translation_shape;
+          Alcotest.test_case "agreement battery" `Quick test_reduction_agrees;
+        ] );
+      ("properties", qcheck_cases);
+    ]

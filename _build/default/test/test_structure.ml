@@ -1,0 +1,392 @@
+(* Tests for Fmtk_structure: structures, isomorphism, graph algorithms,
+   generators, serialization. *)
+
+module Signature = Fmtk_logic.Signature
+module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+module Iso = Fmtk_structure.Iso
+module Graph = Fmtk_structure.Graph
+module Gen = Fmtk_structure.Gen
+module Io = Fmtk_structure.Structure_io
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+let rng () = Random.State.make [| 42 |]
+
+let graph_of edges ~size =
+  Structure.make Signature.graph ~size
+    [ ("E", List.map (fun (u, v) -> [| u; v |]) edges) ]
+
+(* ---------- Tuple ---------- *)
+
+let test_tuple_all () =
+  checki "n^k tuples" 8 (List.length (List.of_seq (Tuple.all 2 3)));
+  checki "arity 0" 1 (List.length (List.of_seq (Tuple.all 5 0)));
+  checki "empty domain" 0 (List.length (List.of_seq (Tuple.all 0 2)));
+  let l = List.of_seq (Tuple.all 3 2) in
+  checki "distinct" 9 (List.length (List.sort_uniq Tuple.compare l))
+
+let test_tuple_compare () =
+  checkb "lex order" true (Tuple.compare [| 0; 1 |] [| 0; 2 |] < 0);
+  checkb "length first" true (Tuple.compare [| 5 |] [| 0; 0 |] < 0);
+  checkb "equal" true (Tuple.equal [| 1; 2 |] [| 1; 2 |])
+
+(* ---------- Structure ---------- *)
+
+let test_structure_make_validation () =
+  let sg = Signature.make ~consts:[ "a" ] [ ("E", 2) ] in
+  let s = Structure.make sg ~size:3 ~consts:[ ("a", 1) ] [ ("E", [ [| 0; 1 |] ]) ] in
+  checki "size" 3 (Structure.size s);
+  checki "const" 1 (Structure.const s "a");
+  checkb "mem" true (Structure.mem s "E" [| 0; 1 |]);
+  checkb "not mem" false (Structure.mem s "E" [| 1; 0 |]);
+  checki "tuple_count" 1 (Structure.tuple_count s);
+  (* Validation errors. *)
+  let expect_invalid f = try f (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> () in
+  expect_invalid (fun () -> ignore (Structure.make sg ~size:3 ~consts:[ ("a", 0) ] [ ("E", [ [| 0 |] ]) ]));
+  expect_invalid (fun () -> ignore (Structure.make sg ~size:3 ~consts:[ ("a", 0) ] [ ("E", [ [| 0; 3 |] ]) ]));
+  expect_invalid (fun () -> ignore (Structure.make sg ~size:3 ~consts:[ ("a", 0) ] [ ("R", []) ]));
+  expect_invalid (fun () -> ignore (Structure.make sg ~size:3 [ ("E", []) ]))
+
+let test_induced () =
+  let s = graph_of [ (0, 1); (1, 2); (2, 3); (3, 0) ] ~size:4 in
+  let sub, embed = Structure.induced s [ 0; 1; 2 ] in
+  checki "induced size" 3 (Structure.size sub);
+  checkb "embed identity" true (embed = [| 0; 1; 2 |]);
+  checkb "kept edge" true (Structure.mem sub "E" [| 0; 1 |]);
+  checkb "dropped edge" false (Structure.mem sub "E" [| 2; 0 |]);
+  (* Renumbering. *)
+  let sub2, embed2 = Structure.induced s [ 3; 1; 2 ] in
+  checkb "embed sorted" true (embed2 = [| 1; 2; 3 |]);
+  checkb "edge 2->3 renumbered to 1->2" true (Structure.mem sub2 "E" [| 1; 2 |])
+
+let test_disjoint_union () =
+  let a = Gen.cycle 3 and b = Gen.cycle 4 in
+  let u = Structure.disjoint_union a b in
+  checki "size" 7 (Structure.size u);
+  checki "edges" 7 (Tuple.Set.cardinal (Structure.rel u "E"));
+  checkb "a edge" true (Structure.mem u "E" [| 0; 1 |]);
+  checkb "b edge shifted" true (Structure.mem u "E" [| 3; 4 |]);
+  checki "components" 2 (Graph.component_count u)
+
+let test_relabel () =
+  let s = graph_of [ (0, 1) ] ~size:3 in
+  let r = Structure.relabel s [| 2; 0; 1 |] in
+  checkb "edge relabeled" true (Structure.mem r "E" [| 2; 0 |]);
+  checkb "old edge gone" false (Structure.mem r "E" [| 0; 1 |]);
+  checkb "relabel preserves iso" true (Iso.isomorphic s r)
+
+let test_expand_consts () =
+  let s = graph_of [ (0, 1) ] ~size:2 in
+  let s' = Structure.expand_consts s [ ("p", 0); ("q", 1) ] in
+  checki "const p" 0 (Structure.const s' "p");
+  checkb "signature extended" true
+    (Signature.mem_const (Structure.signature s') "q")
+
+(* ---------- Iso ---------- *)
+
+let test_partial_iso () =
+  let a = Gen.linear_order 4 and b = Gen.linear_order 5 in
+  checkb "empty map" true (Iso.partial_iso a b []);
+  checkb "order preserved" true (Iso.partial_iso a b [ (0, 1); (2, 3) ]);
+  checkb "order violated" false (Iso.partial_iso a b [ (0, 3); (2, 1) ]);
+  checkb "non-injective" false (Iso.partial_iso a b [ (0, 1); (1, 1) ]);
+  checkb "non-functional" false (Iso.partial_iso a b [ (0, 1); (0, 2) ]);
+  checkb "duplicate pair ok" true (Iso.partial_iso a b [ (0, 0); (0, 0) ])
+
+let test_extension_ok () =
+  let a = Gen.linear_order 4 and b = Gen.linear_order 5 in
+  let pairs = [ (1, 1) ] in
+  checkb "extend above" true (Iso.extension_ok a b pairs (3, 4));
+  checkb "extend below fails order" false (Iso.extension_ok a b pairs (0, 2));
+  checkb "repeat ok" true (Iso.extension_ok a b pairs (1, 1));
+  checkb "repeat mismatch" false (Iso.extension_ok a b pairs (1, 2))
+
+let test_iso_cycles () =
+  checkb "C5 ~ C5 relabeled" true
+    (Iso.isomorphic (Gen.cycle 5) (Structure.relabel (Gen.cycle 5) [| 3; 1; 4; 0; 2 |]));
+  checkb "C5 != C6" false (Iso.isomorphic (Gen.cycle 5) (Gen.cycle 6));
+  checkb "2C3 != C6" false
+    (Iso.isomorphic (Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ]) (Gen.cycle 6));
+  checkb "C3+C4 ~ C4+C3" true
+    (Iso.isomorphic
+       (Gen.union_of [ Gen.cycle 3; Gen.cycle 4 ])
+       (Gen.union_of [ Gen.cycle 4; Gen.cycle 3 ]))
+
+let test_iso_constants_pinned () =
+  (* Path 0->1->2 with a constant at an end vs at the middle: not iso. *)
+  let p = Gen.path 3 in
+  let end_pin = Structure.expand_consts p [ ("c", 0) ] in
+  let mid_pin = Structure.expand_consts p [ ("c", 1) ] in
+  checkb "same pin iso" true (Iso.isomorphic end_pin end_pin);
+  checkb "different pin not iso" false (Iso.isomorphic end_pin mid_pin)
+
+let test_iso_tricky_degree () =
+  (* Two non-isomorphic graphs with the same degree sequence:
+     C6 vs 2xC3 (as undirected-style symmetric graphs). *)
+  let sym g = Graph.symmetric_closure g in
+  checkb "same degrees, not iso" false
+    (Iso.isomorphic (sym (Gen.cycle 6)) (sym (Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ])))
+
+let test_invariant_key () =
+  let k1 = Iso.invariant_key (Gen.cycle 5)
+  and k2 = Iso.invariant_key (Structure.relabel (Gen.cycle 5) [| 4; 2; 0; 3; 1 |]) in
+  Alcotest.check Alcotest.string "iso-invariant" k1 k2;
+  checkb "different structures differ" true
+    (Iso.invariant_key (Gen.cycle 5) <> Iso.invariant_key (Gen.cycle 6))
+
+let test_find_iso_mapping () =
+  let a = Gen.path 4 in
+  let b = Structure.relabel a [| 2; 0; 3; 1 |] in
+  match Iso.find_iso a b with
+  | None -> Alcotest.fail "expected isomorphism"
+  | Some f ->
+      (* Check it is a genuine isomorphism. *)
+      checkb "maps edges" true
+        (Tuple.Set.for_all
+           (fun t -> Structure.mem b "E" [| f.(t.(0)); f.(t.(1)) |])
+           (Structure.rel a "E"))
+
+(* ---------- Graph algorithms ---------- *)
+
+let test_degrees () =
+  let s = Gen.successor 5 in
+  checkb "degree_set {0,1}" true (Graph.degree_set s = [ 0; 1 ]);
+  let tc = Graph.transitive_closure_structure s in
+  checkb "TC degrees 0..4" true (Graph.degree_set tc = [ 0; 1; 2; 3; 4 ]);
+  checki "max degree" 4 (Graph.max_degree tc)
+
+let test_connectivity () =
+  checkb "cycle connected" true (Graph.connected (Gen.cycle 5));
+  checkb "two cycles disconnected" false
+    (Graph.connected (Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ]));
+  checki "components" 3 (Graph.component_count (Gen.union_of [ Gen.cycle 2; Gen.cycle 2; Gen.cycle 2 ]));
+  checkb "empty graph connected" true (Graph.connected (Gen.set 0 |> fun s -> Structure.make Signature.graph ~size:(Structure.size s) []));
+  checkb "singleton connected" true (Graph.connected (graph_of [] ~size:1))
+
+let test_acyclicity () =
+  checkb "path acyclic" true (Graph.acyclic (Gen.path 5));
+  checkb "cycle not acyclic" false (Graph.acyclic (Gen.cycle 5));
+  checkb "self loop not acyclic" false (Graph.acyclic (graph_of [ (0, 0) ] ~size:1));
+  checkb "dag acyclic" true (Graph.acyclic (graph_of [ (0, 1); (0, 2); (1, 2) ] ~size:3));
+  (* Undirected: antiparallel pair is one edge, not a cycle. *)
+  checkb "antiparallel pair is a forest" true
+    (Graph.undirected_acyclic (graph_of [ (0, 1); (1, 0) ] ~size:2));
+  checkb "triangle not forest" false
+    (Graph.undirected_acyclic (Graph.symmetric_closure (Gen.cycle 3)))
+
+let test_trees () =
+  checkb "path is tree" true (Graph.is_tree (Gen.path 4));
+  checkb "cycle not tree" false (Graph.is_tree (Gen.cycle 4));
+  checkb "binary tree is tree" true (Graph.is_tree (Gen.binary_tree 3));
+  checkb "forest not tree" false (Graph.is_tree (Gen.union_of [ Gen.path 2; Gen.path 2 ]))
+
+let test_transitive_closure () =
+  let s = Gen.successor 4 in
+  let tc = Graph.transitive_closure s in
+  checki "TC of chain has n(n-1)/2 edges" 6 (Tuple.Set.cardinal tc);
+  checkb "0 reaches 3" true (Tuple.Set.mem [| 0; 3 |] tc);
+  checkb "3 doesn't reach 0" false (Tuple.Set.mem [| 3; 0 |] tc);
+  (* TC of cycle is complete including loops. *)
+  checki "TC of C3" 9 (Tuple.Set.cardinal (Graph.transitive_closure (Gen.cycle 3)))
+
+let test_complete () =
+  checkb "K4 complete" true (Graph.is_complete (Gen.complete 4));
+  checkb "C4 not complete" false (Graph.is_complete (Gen.cycle 4));
+  checkb "K1 complete" true (Graph.is_complete (Gen.complete 1))
+
+let test_bfs () =
+  let adj = Graph.undirected_adjacency (Gen.path 5) in
+  let d = Graph.bfs ~adj [ 0 ] in
+  checkb "distances" true (d = [| 0; 1; 2; 3; 4 |]);
+  let d2 = Graph.bfs ~adj [ 0; 4 ] in
+  checkb "multi-source" true (d2 = [| 0; 1; 2; 1; 0 |])
+
+(* ---------- Generators ---------- *)
+
+let test_generators () =
+  checki "L5 tuples" 10 (Tuple.Set.cardinal (Structure.rel (Gen.linear_order 5) "lt"));
+  checki "successor edges" 4 (Tuple.Set.cardinal (Structure.rel (Gen.successor 5) "E"));
+  checki "cycle edges" 5 (Tuple.Set.cardinal (Structure.rel (Gen.cycle 5) "E"));
+  checki "K5 edges" 20 (Tuple.Set.cardinal (Structure.rel (Gen.complete 5) "E"));
+  checki "binary tree size" 15 (Structure.size (Gen.binary_tree 3));
+  checki "binary tree edges" 14 (Tuple.Set.cardinal (Structure.rel (Gen.binary_tree 3) "E"));
+  checki "grid size" 12 (Structure.size (Gen.grid 3 4));
+  checki "grid edges" 17 (Tuple.Set.cardinal (Structure.rel (Gen.grid 3 4) "E"));
+  checkb "grid connected" true (Graph.connected (Gen.grid 3 4))
+
+let test_linear_order_is_total () =
+  let s = Gen.linear_order 6 in
+  let lt = Structure.rel s "lt" in
+  (* Total: exactly one of i<j, j<i for i != j; irreflexive; transitive. *)
+  for i = 0 to 5 do
+    checkb "irreflexive" false (Tuple.Set.mem [| i; i |] lt);
+    for j = 0 to 5 do
+      if i <> j then
+        checkb "total" true
+          (Tuple.Set.mem [| i; j |] lt <> Tuple.Set.mem [| j; i |] lt)
+    done
+  done
+
+let test_random_generators () =
+  let rng = rng () in
+  let g = Gen.random_graph ~rng 20 0.3 in
+  checki "size" 20 (Structure.size g);
+  let ug = Gen.random_undirected_graph ~rng 20 0.5 in
+  checkb "symmetric" true
+    (Tuple.Set.for_all
+       (fun t -> Structure.mem ug "E" [| t.(1); t.(0) |])
+       (Structure.rel ug "E"));
+  checkb "no loops" true
+    (Tuple.Set.for_all (fun t -> t.(0) <> t.(1)) (Structure.rel ug "E"));
+  let bd = Gen.bounded_degree_graph ~rng 30 3 in
+  checkb "degree bounded" true (Graph.max_degree bd <= 3);
+  let sg = Signature.make [ ("E", 2); ("P", 1) ] in
+  let rs = Gen.random_structure ~rng sg 6 in
+  checki "random structure size" 6 (Structure.size rs)
+
+(* ---------- IO ---------- *)
+
+let test_io_roundtrip () =
+  let sg = Signature.make ~consts:[ "a" ] [ ("E", 2); ("P", 1) ] in
+  let s =
+    Structure.make sg ~size:4 ~consts:[ ("a", 2) ]
+      [ ("E", [ [| 0; 1 |]; [| 1; 2 |] ]); ("P", [ [| 3 |] ]) ]
+  in
+  let text = Io.to_string s in
+  match Io.parse text with
+  | Ok s' -> checkb "roundtrip" true (Structure.equal s s')
+  | Error e -> Alcotest.fail e
+
+let test_io_parse () =
+  let text = "# a comment\ndomain 3\nrel E/2 = (0,1) (1,2)\nconst a = 0\n" in
+  match Io.parse text with
+  | Ok s ->
+      checki "size" 3 (Structure.size s);
+      checkb "edge" true (Structure.mem s "E" [| 0; 1 |]);
+      checki "const" 0 (Structure.const s "a")
+  | Error e -> Alcotest.fail e
+
+let test_io_errors () =
+  List.iter
+    (fun text ->
+      match Io.parse text with
+      | Ok _ -> Alcotest.failf "expected failure for %S" text
+      | Error _ -> ())
+    [
+      "rel E/2 = (0,1)";          (* missing domain *)
+      "domain 2\nrel E/2 = (0,3)"; (* out of range *)
+      "domain 2\nrel E/2 = (0)";  (* arity mismatch *)
+      "domain -1";
+      "domain 2\nbogus line";
+    ]
+
+(* ---------- QCheck properties ---------- *)
+
+let gen_graph : Structure.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 1 8 in
+  let* edges =
+    list_size (int_range 0 (n * 2))
+      (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+  in
+  return (graph_of edges ~size:n)
+
+let prop_relabel_iso =
+  QCheck2.Test.make ~count:100 ~name:"relabel yields isomorphic structure"
+    QCheck2.Gen.(pair gen_graph (int_range 0 1000))
+    (fun (g, seed) ->
+      let n = Structure.size g in
+      let perm = Array.init n Fun.id in
+      let rng = Random.State.make [| seed |] in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let tmp = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- tmp
+      done;
+      Iso.isomorphic g (Structure.relabel g perm))
+
+let prop_iso_implies_key =
+  QCheck2.Test.make ~count:100 ~name:"isomorphic implies equal invariant keys"
+    QCheck2.Gen.(pair gen_graph gen_graph)
+    (fun (a, b) ->
+      (not (Iso.isomorphic a b)) || Iso.invariant_key a = Iso.invariant_key b)
+
+let prop_tc_idempotent =
+  QCheck2.Test.make ~count:100 ~name:"transitive closure is idempotent" gen_graph
+    (fun g ->
+      let tc = Graph.transitive_closure_structure g in
+      Tuple.Set.equal (Structure.rel tc "E") (Graph.transitive_closure tc))
+
+let prop_component_count =
+  QCheck2.Test.make ~count:100 ~name:"connected iff one component" gen_graph
+    (fun g ->
+      Graph.connected g = (Graph.component_count g <= 1 || Structure.size g <= 1))
+
+let prop_io_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"structure io roundtrip" gen_graph (fun g ->
+      match Io.parse (Io.to_string g) with
+      | Ok g' -> Structure.equal g g'
+      | Error _ -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_relabel_iso;
+      prop_iso_implies_key;
+      prop_tc_idempotent;
+      prop_component_count;
+      prop_io_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "fmtk_structure"
+    [
+      ( "tuple",
+        [
+          Alcotest.test_case "enumeration" `Quick test_tuple_all;
+          Alcotest.test_case "comparison" `Quick test_tuple_compare;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "make and validation" `Quick test_structure_make_validation;
+          Alcotest.test_case "induced substructure" `Quick test_induced;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+          Alcotest.test_case "expand consts" `Quick test_expand_consts;
+        ] );
+      ( "iso",
+        [
+          Alcotest.test_case "partial iso" `Quick test_partial_iso;
+          Alcotest.test_case "extension" `Quick test_extension_ok;
+          Alcotest.test_case "cycles" `Quick test_iso_cycles;
+          Alcotest.test_case "constants pinned" `Quick test_iso_constants_pinned;
+          Alcotest.test_case "same degrees not iso" `Quick test_iso_tricky_degree;
+          Alcotest.test_case "invariant key" `Quick test_invariant_key;
+          Alcotest.test_case "mapping is isomorphism" `Quick test_find_iso_mapping;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "connectivity" `Quick test_connectivity;
+          Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+          Alcotest.test_case "trees" `Quick test_trees;
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "completeness" `Quick test_complete;
+          Alcotest.test_case "bfs" `Quick test_bfs;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "families" `Quick test_generators;
+          Alcotest.test_case "linear order total" `Quick test_linear_order_is_total;
+          Alcotest.test_case "random" `Quick test_random_generators;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "parse" `Quick test_io_parse;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,189 @@
+(* Tests for Fmtk_trees: tree encoding, bottom-up automata, boolean
+   closure, and the Thatcher-Wright cross-check (automaton = MSO). *)
+
+module Tree = Fmtk_trees.Tree
+module Automaton = Fmtk_trees.Automaton
+module Mso_trees = Fmtk_trees.Mso_trees
+module Structure = Fmtk_structure.Structure
+module Graph = Fmtk_structure.Graph
+open Tree
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+let rng () = Random.State.make [| 31337 |]
+
+(* ((1 and 0) or 1) *)
+let sample = Node ("or", Node ("and", Leaf "1", Leaf "0"), Leaf "1")
+
+(* ---------- Tree basics ---------- *)
+
+let test_tree_measures () =
+  checki "size" 5 (size sample);
+  checki "depth" 2 (depth sample);
+  checki "ones" 2 (count_leaves "1" sample);
+  checki "zeros" 1 (count_leaves "0" sample);
+  Alcotest.(check (list string)) "alphabet" [ "or"; "and"; "1"; "0" ] (alphabet sample)
+
+let test_to_structure () =
+  let s = to_structure ~alphabet:Mso_trees.bool_alphabet sample in
+  checki "5 nodes" 5 (Structure.size s);
+  (* Preorder: 0=or, 1=and, 2=leaf 1, 3=leaf 0, 4=leaf 1. *)
+  checkb "root labelled or" true (Structure.mem s "L_or" [| 0 |]);
+  checkb "left child is and" true (Structure.mem s "left" [| 0; 1 |]);
+  checkb "right child is the last leaf" true (Structure.mem s "right" [| 0; 4 |]);
+  checkb "and's children" true
+    (Structure.mem s "left" [| 1; 2 |] && Structure.mem s "right" [| 1; 3 |]);
+  checkb "leaf labels" true
+    (Structure.mem s "L_1" [| 2 |] && Structure.mem s "L_0" [| 3 |]);
+  (* The encoding is a tree in the graph sense. *)
+  let edges =
+    Fmtk_structure.Tuple.Set.union (Structure.rel s "left") (Structure.rel s "right")
+  in
+  let g =
+    Structure.make Fmtk_logic.Signature.graph ~size:5
+      [ ("E", Fmtk_structure.Tuple.Set.elements edges) ]
+  in
+  checkb "graph-theoretic tree" true (Graph.is_tree g);
+  (* Unknown label rejected. *)
+  try
+    ignore (to_structure ~alphabet:[ "and" ] sample);
+    Alcotest.fail "label outside alphabet must be rejected"
+  with Invalid_argument _ -> ()
+
+let test_random_tree () =
+  let t = random ~rng:(rng ()) ~internal:[ "and"; "or" ] ~leaves:[ "0"; "1" ] 4 in
+  checki "requested depth" 4 (depth t);
+  checkb "labels within alphabet" true
+    (List.for_all (fun a -> List.mem a Mso_trees.bool_alphabet) (alphabet t))
+
+(* ---------- Automata ---------- *)
+
+let test_boolean_eval_automaton () =
+  checkb "sample evaluates true" true (Automaton.accepts Automaton.boolean_eval sample);
+  checkb "and(1,0) false" false
+    (Automaton.accepts Automaton.boolean_eval (Node ("and", Leaf "1", Leaf "0")));
+  checkb "single leaf" true (Automaton.accepts Automaton.boolean_eval (Leaf "1"));
+  checkb "direct agrees" (Mso_trees.eval_direct sample)
+    (Automaton.accepts Automaton.boolean_eval sample)
+
+let test_even_ones () =
+  checkb "sample has 2 ones: even" true (Automaton.accepts Automaton.even_ones sample);
+  checkb "single 1: odd" false (Automaton.accepts Automaton.even_ones (Leaf "1"));
+  checkb "single 0: even" true (Automaton.accepts Automaton.even_ones (Leaf "0"))
+
+let test_boolean_closure () =
+  let alphabet = Mso_trees.bool_alphabet in
+  let comp = Automaton.complement Automaton.boolean_eval in
+  checkb "complement flips" true
+    (Automaton.accepts comp sample <> Automaton.accepts Automaton.boolean_eval sample);
+  let both = Automaton.intersect ~alphabet Automaton.boolean_eval Automaton.even_ones in
+  checkb "intersection on sample" true (Automaton.accepts both sample);
+  checkb "intersection rejects odd ones" false
+    (Automaton.accepts both (Leaf "1"));
+  let either = Automaton.union ~alphabet Automaton.boolean_eval Automaton.even_ones in
+  checkb "union accepts leaf 1 (true-eval)" true (Automaton.accepts either (Leaf "1"));
+  checkb "union accepts leaf 0 (even ones)" true (Automaton.accepts either (Leaf "0"))
+
+let test_emptiness () =
+  let internal = [ "and"; "or" ] and leaves = [ "0"; "1" ] in
+  checkb "boolean_eval nonempty" true
+    (Automaton.nonempty ~internal ~leaves Automaton.boolean_eval);
+  (* eval-true AND its complement: empty. *)
+  let contradiction =
+    Automaton.intersect ~alphabet:Mso_trees.bool_alphabet Automaton.boolean_eval
+      (Automaton.complement Automaton.boolean_eval)
+  in
+  checkb "contradiction empty" false
+    (Automaton.nonempty ~internal ~leaves contradiction);
+  (* Restricting leaves to "0": eval-true becomes empty. *)
+  checkb "no true tree over 0-leaves" false
+    (Automaton.nonempty ~internal ~leaves:[ "0" ] Automaton.boolean_eval)
+
+(* ---------- Thatcher-Wright cross-check ---------- *)
+
+let test_mso_equals_automaton () =
+  let trees =
+    [
+      Leaf "1";
+      Leaf "0";
+      Node ("and", Leaf "1", Leaf "1");
+      Node ("and", Leaf "1", Leaf "0");
+      Node ("or", Leaf "0", Leaf "0");
+      sample;
+      Node ("and", sample, Node ("or", Leaf "0", Leaf "1"));
+    ]
+  in
+  List.iter
+    (fun t ->
+      let a = Mso_trees.eval_via_automaton t in
+      let m = Mso_trees.eval_via_mso t in
+      let d = Mso_trees.eval_direct t in
+      checkb (Format.asprintf "%a" Tree.pp t) true (a = m && m = d))
+    trees
+
+let gen_tree =
+  let open QCheck2.Gen in
+  let* d = int_range 0 3 in
+  let* seed = int_range 0 100000 in
+  let rng = Random.State.make [| seed |] in
+  return (random ~rng ~internal:[ "and"; "or" ] ~leaves:[ "0"; "1" ] d)
+
+let prop_thatcher_wright =
+  QCheck2.Test.make ~count:100 ~name:"automaton = MSO = direct on random trees"
+    gen_tree (fun t ->
+      let a = Mso_trees.eval_via_automaton t in
+      a = Mso_trees.eval_via_mso t && a = Mso_trees.eval_direct t)
+
+let prop_even_ones =
+  QCheck2.Test.make ~count:100 ~name:"even-ones automaton counts correctly"
+    gen_tree (fun t ->
+      Automaton.accepts Automaton.even_ones t
+      = (Tree.count_leaves "1" t mod 2 = 0))
+
+let prop_even_ones_mso =
+  QCheck2.Test.make ~count:60
+    ~name:"even-ones: MSO sentence = automaton (2nd Thatcher-Wright instance)"
+    gen_tree (fun t ->
+      Mso_trees.even_ones_via_mso t = Automaton.accepts Automaton.even_ones t)
+
+let prop_closure_semantics =
+  QCheck2.Test.make ~count:100 ~name:"product automata implement ∧/∨/¬"
+    gen_tree (fun t ->
+      let alphabet = Mso_trees.bool_alphabet in
+      let a = Automaton.boolean_eval and b = Automaton.even_ones in
+      Automaton.accepts (Automaton.intersect ~alphabet a b) t
+      = (Automaton.accepts a t && Automaton.accepts b t)
+      && Automaton.accepts (Automaton.union ~alphabet a b) t
+         = (Automaton.accepts a t || Automaton.accepts b t)
+      && Automaton.accepts (Automaton.complement a) t
+         = not (Automaton.accepts a t))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_thatcher_wright;
+      prop_even_ones;
+      prop_even_ones_mso;
+      prop_closure_semantics;
+    ]
+
+let () =
+  Alcotest.run "fmtk_trees"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "measures" `Quick test_tree_measures;
+          Alcotest.test_case "structure encoding" `Quick test_to_structure;
+          Alcotest.test_case "random generation" `Quick test_random_tree;
+        ] );
+      ( "automata",
+        [
+          Alcotest.test_case "boolean evaluation" `Quick test_boolean_eval_automaton;
+          Alcotest.test_case "even ones" `Quick test_even_ones;
+          Alcotest.test_case "boolean closure" `Quick test_boolean_closure;
+          Alcotest.test_case "emptiness" `Quick test_emptiness;
+        ] );
+      ( "thatcher-wright",
+        [ Alcotest.test_case "MSO = automaton" `Quick test_mso_equals_automaton ] );
+      ("properties", qcheck_cases);
+    ]
