@@ -806,6 +806,114 @@ let e22 () =
   in
   run_bechamel (Bechamel.Test.make_grouped ~name:"E22" tests)
 
+(* ---------- E23: compiled evaluation engine and parallel EF ---------- *)
+
+module Compiled = Fmtk_eval.Compiled
+
+(* Where to write the machine-readable results (set by --json; used by
+   bench/run_bench.sh to emit BENCH_eval.json for perf tracking). *)
+let json_path : string option ref = ref None
+
+(* Direct wall-clock measurement: Bechamel's OLS is great for shapes, but
+   the speedup table wants plain ratios of ns/run on identical work. *)
+let time_ns ~iters fn =
+  ignore (Sys.opaque_identity (fn ()));
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (fn ()))
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int iters
+
+type e23_entry = {
+  name : string;
+  kind : string; (* "eval" or "ef" *)
+  baseline_ns : float; (* naive / sequential *)
+  engine_ns : float; (* compiled / parallel *)
+}
+
+let e23 () =
+  let entries = ref [] in
+  let record name kind baseline_ns engine_ns =
+    entries := { name; kind; baseline_ns; engine_ns } :: !entries
+  in
+  pf "Naive interpreter vs compiled engine (same structure, same sentence):@.";
+  pf "  %-36s %12s %12s %9s@." "workload" "naive ns" "compiled ns" "speedup";
+  let eval_workload ~iters name g phi =
+    let naive = time_ns ~iters (fun () -> Eval.sat g phi) in
+    let ct = Compiled.compile g phi in
+    let compiled = time_ns ~iters:(iters * 4) (fun () -> Compiled.run ct [||]) in
+    pf "  %-36s %12.0f %12.0f %8.1fx@." name naive compiled (naive /. compiled);
+    record name "eval" naive compiled
+  in
+  (* The E1 workloads at the acceptance point n = 40, k = 3. *)
+  eval_workload ~iters:30 "E1 nested-quantifier n=40 k=3" (Gen.set 40)
+    (nested_forall 3);
+  eval_workload ~iters:30 "E1 alternating n=40 k=3"
+    (Gen.random_graph ~rng:(rng ()) 40 0.5)
+    (f "forall x. exists y. forall z. x = y | E(x,z) | E(z,y) | z != z");
+  eval_workload ~iters:100 "E1 alternating n=32 k=2"
+    (Gen.random_graph ~rng:(rng ()) 32 0.5)
+    (f "forall x. exists y. E(x,y) | E(y,x)");
+  (* The E13 workload: the naive O(n^2) baseline of Theorem 3.11. *)
+  eval_workload ~iters:30 "E13 successor-sentence cycle n=1024"
+    (Gen.cycle 1024)
+    (f "forall x. exists y. E(x,y)");
+  eval_workload ~iters:100 "E13 successor-sentence cycle n=256"
+    (Gen.cycle 256)
+    (f "forall x. exists y. E(x,y)");
+  pf "@.EF solver: sequential vs parallel root fan-out (%d domains available):@."
+    (Domain.recommended_domain_count ());
+  pf "  %-36s %12s %12s %9s@." "game" "seq ns" "par ns" "speedup";
+  let ef_workload ~iters name a b rounds =
+    let seq =
+      time_ns ~iters (fun () ->
+          Ef.duplicator_wins
+            ~config:{ Ef.default_config with Ef.parallel = false }
+            ~rounds a b)
+    in
+    let par = time_ns ~iters (fun () -> Ef.duplicator_wins ~rounds a b) in
+    pf "  %-36s %12.0f %12.0f %8.1fx@." name seq par (seq /. par);
+    record name "ef" seq par
+  in
+  ef_workload ~iters:3 "orders L12 vs L13, 3 rounds" (Gen.linear_order 12)
+    (Gen.linear_order 13) 3;
+  ef_workload ~iters:3 "orders L15 vs L16, 4 rounds" (Gen.linear_order 15)
+    (Gen.linear_order 16) 4;
+  ef_workload ~iters:3 "cycles C12 vs C13, 3 rounds" (Gen.cycle 12)
+    (Gen.cycle 13) 3;
+  ef_workload ~iters:3 "cycles C16 vs C16, 3 rounds" (Gen.cycle 16)
+    (Gen.cycle 16) 3;
+  pf "Shape: compiled >= 5x on the E1 workloads; EF parallel speedup grows@.";
+  pf "with the subtree work per top-level move.@.";
+  (* Machine-readable trail for future PRs. *)
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let out = Printf.fprintf in
+      out oc "{\n  \"experiment\": \"E23\",\n  \"unit\": \"ns/run\",\n";
+      out oc "  \"domains\": %d,\n  \"workloads\": [\n"
+        (Domain.recommended_domain_count ());
+      let rows = List.rev !entries in
+      List.iteri
+        (fun i e ->
+          let baseline_key, engine_key =
+            if e.kind = "ef" then ("sequential_ns", "parallel_ns")
+            else ("naive_ns", "compiled_ns")
+          in
+          out oc
+            "    {\"name\": %S, \"kind\": %S, \"%s\": %.1f, \"%s\": %.1f, \
+             \"speedup\": %.2f}%s\n"
+            e.name e.kind baseline_key e.baseline_ns engine_key e.engine_ns
+            (e.baseline_ns /. e.engine_ns)
+            (if i = List.length rows - 1 then "" else ",")
+        )
+        rows;
+      out oc "  ]\n}\n";
+      close_out oc;
+      pf "Wrote %s@." path
+
 (* ---------- Ablations ---------- *)
 
 let ablation () =
@@ -813,7 +921,7 @@ let ablation () =
   List.iter
     (fun memo ->
       ignore
-        (Ef.duplicator_wins ~config:{ Ef.memo } ~rounds:3 (Gen.linear_order 5)
+        (Ef.duplicator_wins ~config:{ Ef.default_config with Ef.memo = memo } ~rounds:3 (Gen.linear_order 5)
            (Gen.linear_order 6));
       pf "  memo=%-5b positions explored: %d@." memo
         (Ef.last_positions_explored ()))
@@ -865,16 +973,39 @@ let sections =
     ("E20", "fixpoint logic FO(IFP): TC, CONN, Immerman–Vardi", e20);
     ("E21", "trees: automata = MSO (Thatcher–Wright)", e21);
     ("E22", "counting quantifiers and aggregates", e22);
+    ("E23", "compiled FO engine + parallel EF: speedup table", e23);
     ("ablation", "design-choice ablations", ablation);
   ]
 
 let () =
   let args = Array.to_list Sys.argv in
-  let only =
-    match args with
-    | _ :: "--only" :: id :: _ -> Some id
-    | _ -> None
+  let rec parse = function
+    | "--only" :: id :: rest ->
+        let _, json = parse rest in
+        (Some id, json)
+    | "--json" :: path :: rest ->
+        let only, _ = parse rest in
+        (only, Some path)
+    | _ :: rest -> parse rest
+    | [] -> (None, None)
   in
+  let only, json = parse (List.tl args) in
+  (match only with
+  | Some o when not (List.exists (fun (id, _, _) -> id = o) sections) ->
+      Printf.eprintf "unknown experiment %S (try --list)\n" o;
+      exit 2
+  | _ -> ());
+  (* Fail on an unwritable --json target now, not after the benchmarks
+     (append mode: probe writability without truncating existing data). *)
+  (match json with
+  | Some path -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write --json target: %s\n" msg;
+          exit 2)
+  | None -> ());
+  json_path := json;
   if List.mem "--list" args then
     List.iter (fun (id, doc, _) -> pf "%-9s %s@." id doc) sections
   else begin

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Run the E23 evaluation benchmark and leave a machine-readable trail in
+# BENCH_eval.json (ns/run per workload, naive vs compiled and sequential
+# vs parallel EF). Extra arguments are passed through to bench/main.exe.
+set -eu
+cd "$(dirname "$0")/.."
+exec dune exec bench/main.exe -- --only E23 --json BENCH_eval.json "$@"

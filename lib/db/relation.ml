@@ -1,4 +1,5 @@
 module Tuple = Fmtk_structure.Tuple
+module Index = Fmtk_structure.Index
 
 type t = { attrs : string list; tuples : Tuple.Set.t }
 
@@ -68,6 +69,27 @@ let join a b =
   let b_only = List.filter (fun x -> not (List.mem x a.attrs)) b.attrs in
   let a_shared_pos = List.map (position a) shared in
   let b_shared_pos = List.map (position b) shared in
+  if b_only = [] then (
+    (* Semijoin: [b] constrains [a] without contributing columns — the
+       shape Compile emits for cycle-closing atoms and adom guards. Filter
+       [a] through an O(1) membership index on [b]'s key columns instead
+       of materializing a hash join. *)
+    let k = List.length shared in
+    let key_of pos tup = Array.of_list (List.map (fun i -> tup.(i)) pos) in
+    let keys =
+      Tuple.Set.fold
+        (fun tb acc -> Tuple.Set.add (key_of b_shared_pos tb) acc)
+        b.tuples Tuple.Set.empty
+    in
+    let idx = Index.of_tuples ~arity:k keys in
+    {
+      a with
+      tuples =
+        Tuple.Set.filter
+          (fun ta -> Index.mem idx (key_of a_shared_pos ta))
+          a.tuples;
+    })
+  else
   let b_only_pos = List.map (position b) b_only in
   (* Hash b on its shared-attribute key. *)
   let index = Hashtbl.create (max 16 (cardinality b)) in

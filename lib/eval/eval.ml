@@ -90,7 +90,8 @@ let definable_relation ?stats a f ~vars =
           (Printf.sprintf "Eval.definable_relation: free variable %S not listed" x))
     fv;
   let n = Structure.size a in
-  let k = List.length vars in
+  let vars_arr = Array.of_list vars in
+  let k = Array.length vars_arr in
   let acc = ref Tuple.Set.empty in
   let tup = Array.make k 0 in
   let rec enum i env =
@@ -99,7 +100,7 @@ let definable_relation ?stats a f ~vars =
     else
       for e = 0 to n - 1 do
         tup.(i) <- e;
-        enum (i + 1) (bind (List.nth vars i) e env)
+        enum (i + 1) (bind vars_arr.(i) e env)
       done
   in
   enum 0 empty_env;

@@ -42,7 +42,10 @@ let holds_with_cache ~(cache : cache) ?stats s phi ~env =
         match List.assoc_opt r renv with
         | Some set -> Tuple.Set.mem tup set
         | None -> (
-            match Structure.mem s r tup with
+            (* Base relations go through the structure's O(1) index;
+               fixpoint-bound relations above evolve stage by stage, so
+               they stay on the plain set. *)
+            match Structure.probe s r tup with
             | b -> b
             | exception Not_found ->
                 invalid_arg (Printf.sprintf "Fp_eval: unknown relation %S" r)))

@@ -1,21 +1,66 @@
 module Structure = Fmtk_structure.Structure
 module Iso = Fmtk_structure.Iso
 
-type config = { memo : bool }
+type config = { memo : bool; parallel : bool; workers : int option }
 
-let default_config = { memo = true }
+let default_config = { memo = true; parallel = true; workers = None }
 let positions_explored = ref 0
 let last_positions_explored () = !positions_explored
 
-(* Order-insensitive canonical form of a position. *)
-let canonical pairs = List.sort_uniq compare pairs
+(* Memo keys are flat int arrays: the round count followed by the position
+   as a sorted, deduplicated list of pairs packed as [x * span + y]. This
+   replaces the old polymorphic-compare key [(int, (int * int) list)] —
+   equality is a word-by-word int scan and hashing never walks list
+   spines. *)
+module Key = struct
+  type t = int array
+
+  let equal (a : int array) b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let hash (a : int array) =
+    Array.fold_left (fun h x -> ((h * 486187739) + x) land max_int) 17 a
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* [insert_packed packed p] — sorted-set insert; returns [packed] itself
+   when [p] is already present (a repeated pebble pair). Positions hold at
+   most [rounds] + |start| pairs, so the copy is tiny. *)
+let insert_packed packed p =
+  let len = Array.length packed in
+  let rec find i = if i = len || packed.(i) >= p then i else find (i + 1) in
+  let i = find 0 in
+  if i < len && packed.(i) = p then packed
+  else begin
+    let out = Array.make (len + 1) p in
+    Array.blit packed 0 out 0 i;
+    Array.blit packed i out (i + 1) (len - i);
+    out
+  end
+
+(* How many domains the root fan-out may use. With [workers = None] small
+   games stay sequential (spawning costs more than the whole search), as
+   does everything when [Domain.recommended_domain_count () = 1]; an
+   explicit [workers = Some k] forces the fan-out (tests use it to
+   exercise the parallel path on any machine). *)
+let worker_count config ~rounds ~moves =
+  if not config.parallel then 1
+  else
+    match config.workers with
+    | Some k -> max 1 (min k moves)
+    | None ->
+        if rounds < 2 || moves < 12 then 1
+        else min (min 8 (Domain.recommended_domain_count ())) moves
 
 let duplicator_wins_from ?(config = default_config) ~rounds a b start =
   if rounds < 0 then invalid_arg "Ef: negative round count";
   positions_explored := 0;
   if not (Iso.partial_iso a b start) then false
-  else
-    let memo : (int * (int * int) list, bool) Hashtbl.t = Hashtbl.create 1024 in
+  else begin
     let dom_a = Structure.domain a and dom_b = Structure.domain b in
     (* Candidate ordering heuristic: try duplicator replies whose WL colour
        matches the spoiler's element first — the good reply is usually found
@@ -27,40 +72,97 @@ let duplicator_wins_from ?(config = default_config) ~rounds a b start =
       in
       matching @ rest
     in
-    let rec win n pairs =
-      if n = 0 then true
-      else
-        let key = (n, pairs) in
-        match if config.memo then Hashtbl.find_opt memo key else None with
-        | Some v -> v
-        | None ->
-            incr positions_explored;
-            let answer_in dom_reply colors_reply colors_pick other_first pick =
-              let replies =
-                ordered_replies colors_pick.(pick) dom_reply colors_reply
-              in
-              List.exists
-                (fun reply ->
-                  let x, y = if other_first then (reply, pick) else (pick, reply) in
-                  Iso.extension_ok a b pairs (x, y)
-                  && win (n - 1) (canonical ((x, y) :: pairs)))
-                replies
-            in
-            let spoiler_in_a =
-              List.for_all
-                (fun x -> answer_in dom_b colors_b colors_a false x)
-                dom_a
-            in
-            let v =
-              spoiler_in_a
-              && List.for_all
-                   (fun y -> answer_in dom_a colors_a colors_b true y)
-                   dom_b
-            in
-            if config.memo then Hashtbl.replace memo key v;
-            v
+    let span = max 1 (Structure.size b) in
+    let pack x y = (x * span) + y in
+    let packed_start =
+      Array.of_list
+        (List.sort_uniq Int.compare (List.map (fun (x, y) -> pack x y) start))
     in
-    win rounds (canonical start)
+    (* One independent searcher: its own memo table and position counter,
+       so parallel workers never share mutable state. *)
+    let searcher () =
+      let memo : bool Tbl.t = Tbl.create 1024 in
+      let explored = ref 0 in
+      let rec win n pairs packed =
+        if n = 0 then true
+        else begin
+          let key = Array.append [| n |] packed in
+          match if config.memo then Tbl.find_opt memo key else None with
+          | Some v -> v
+          | None ->
+              incr explored;
+              let spoiler_in_a =
+                List.for_all (fun x -> answer_in n pairs packed false x) dom_a
+              in
+              let v =
+                spoiler_in_a
+                && List.for_all (fun y -> answer_in n pairs packed true y) dom_b
+              in
+              if config.memo then Tbl.replace memo key v;
+              v
+        end
+      and answer_in n pairs packed other_first pick =
+        let replies =
+          if other_first then
+            ordered_replies colors_b.(pick) dom_a colors_a
+          else ordered_replies colors_a.(pick) dom_b colors_b
+        in
+        List.exists
+          (fun reply ->
+            let x, y = if other_first then (reply, pick) else (pick, reply) in
+            Iso.extension_ok a b pairs (x, y)
+            && win (n - 1) ((x, y) :: pairs) (insert_packed packed (pack x y)))
+          replies
+      in
+      (win, answer_in, explored)
+    in
+    let sequential () =
+      let win, _, explored = searcher () in
+      let v = win rounds start packed_start in
+      positions_explored := !explored;
+      v
+    in
+    if rounds = 0 then sequential ()
+    else begin
+      let moves =
+        List.map (fun x -> (false, x)) dom_a
+        @ List.map (fun y -> (true, y)) dom_b
+      in
+      let w = worker_count config ~rounds ~moves:(List.length moves) in
+      if w <= 1 then sequential ()
+      else begin
+        (* Root fan-out: each top-level spoiler move spans an independent
+           subtree; split the moves across domains, each with a private
+           memo. Indexes are forced first so the probes the workers make
+           through [Iso.extension_ok] never write shared state. *)
+        Structure.ensure_indexes a;
+        Structure.ensure_indexes b;
+        let chunks = Array.make w [] in
+        List.iteri (fun i m -> chunks.(i mod w) <- m :: chunks.(i mod w)) moves;
+        let run_chunk chunk () =
+          let _, answer_in, explored = searcher () in
+          let ok =
+            List.for_all
+              (fun (other_first, pick) ->
+                answer_in rounds start packed_start other_first pick)
+              chunk
+          in
+          (ok, !explored)
+        in
+        let spawned =
+          Array.map
+            (fun chunk -> Domain.spawn (run_chunk chunk))
+            (Array.sub chunks 1 (w - 1))
+        in
+        let ok0, explored0 = run_chunk chunks.(0) () in
+        let results = Array.map Domain.join spawned in
+        let all_ok = Array.for_all fst results && ok0 in
+        positions_explored :=
+          1 + explored0 + Array.fold_left (fun acc (_, e) -> acc + e) 0 results;
+        all_ok
+      end
+    end
+  end
 
 let duplicator_wins ?config ~rounds a b =
   duplicator_wins_from ?config ~rounds a b []

@@ -15,9 +15,19 @@
 module Structure = Fmtk_structure.Structure
 
 (** Solver configuration. [memo] (default true) caches game positions,
-    keyed by the played pairs (order-insensitive); the ablation bench
-    disables it. *)
-type config = { memo : bool }
+    keyed by round count + the played pairs packed into a flat int array
+    (order-insensitive); the ablation bench disables it. [parallel]
+    (default true) splits the top-level spoiler moves across domains
+    ([Domain.spawn]) when the game is big enough and
+    [Domain.recommended_domain_count () > 1]; each worker searches its
+    subtrees with a private memo table, so verdicts are identical to the
+    sequential path (position counts may differ — memo hits are no longer
+    shared across root branches). [workers] (default [None]) overrides the
+    automatic worker count: [Some k] forces a [k]-domain fan-out even on
+    machines reporting a single recommended domain (tests use this to
+    exercise the parallel path deterministically); [Some 1] forces the
+    sequential path. *)
+type config = { memo : bool; parallel : bool; workers : int option }
 
 val default_config : config
 

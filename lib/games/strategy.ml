@@ -11,9 +11,14 @@ let verify ~rounds a b strategy =
       List.map (fun e -> (Left, e)) (Structure.domain a)
       @ List.map (fun e -> (Right, e)) (Structure.domain b)
     in
-    let rec go r pairs trace =
+    (* Pairs are carried newest-first (O(1) extension instead of a
+       quadratic [pairs @ [..]] append) and normalized back to play order
+       at the consumers: the strategy contract promises the position in
+       play order, while [Iso.extension_ok] is order-insensitive. *)
+    let rec go r rev_pairs trace =
       if r = 0 then None
       else
+        let pairs = List.rev rev_pairs in
         List.find_map
           (fun (side, e) ->
             let losing = Some (List.rev ((side, e) :: trace)) in
@@ -23,8 +28,8 @@ let verify ~rounds a b strategy =
                 let x, y =
                   match side with Left -> (e, reply) | Right -> (reply, e)
                 in
-                if not (Iso.extension_ok a b pairs (x, y)) then losing
-                else go (r - 1) (pairs @ [ (x, y) ]) ((side, e) :: trace))
+                if not (Iso.extension_ok a b rev_pairs (x, y)) then losing
+                else go (r - 1) ((x, y) :: rev_pairs) ((side, e) :: trace))
           moves
     in
     go rounds [] []
@@ -38,19 +43,20 @@ let verify_sampled ~rng ~lines ~rounds a b strategy =
       if i < na then (Left, i) else (Right, i - na)
     in
     let play_line () =
-      let rec go r pairs trace =
+      (* Same reversed-pairs representation as [verify] above. *)
+      let rec go r rev_pairs trace =
         if r = 0 then None
         else
           let side, e = random_move () in
           let losing = Some (List.rev ((side, e) :: trace)) in
-          match strategy ~rounds_left:(r - 1) pairs side e with
+          match strategy ~rounds_left:(r - 1) (List.rev rev_pairs) side e with
           | exception _ -> losing
           | reply ->
               let x, y =
                 match side with Left -> (e, reply) | Right -> (reply, e)
               in
-              if not (Iso.extension_ok a b pairs (x, y)) then losing
-              else go (r - 1) (pairs @ [ (x, y) ]) ((side, e) :: trace)
+              if not (Iso.extension_ok a b rev_pairs (x, y)) then losing
+              else go (r - 1) ((x, y) :: rev_pairs) ((side, e) :: trace)
       in
       go rounds [] []
     in

@@ -7,25 +7,34 @@ type registry = {
   bucketing : bool;
   (* invariant key -> type ids sharing it *)
   buckets : (string, int list ref) Hashtbl.t;
-  mutable reps : Structure.t list; (* newest first *)
+  (* Growable array of representatives, indexed by type id: O(1) lookup
+     where the old newest-first list cost O(count) per [representative]
+     call — called once per candidate in every iso test. Slots >= count
+     are padding (duplicates of earlier entries). *)
+  mutable reps : Structure.t array;
   mutable count : int;
   mutable iso_tests : int;
 }
 
 let create_registry ?(bucketing = true) () =
-  { bucketing; buckets = Hashtbl.create 64; reps = []; count = 0; iso_tests = 0 }
+  { bucketing; buckets = Hashtbl.create 64; reps = [||]; count = 0; iso_tests = 0 }
 
 let registry_size reg = reg.count
 let iso_tests reg = reg.iso_tests
 
 let representative reg id =
   if id < 0 || id >= reg.count then invalid_arg "Neighborhood: bad type id";
-  (* reps is newest-first: id i lives at position count-1-i. *)
-  List.nth reg.reps (reg.count - 1 - id)
+  reg.reps.(id)
 
 let register reg nb =
   let id = reg.count in
-  reg.reps <- nb :: reg.reps;
+  if id = Array.length reg.reps then begin
+    (* Double the capacity, using the new element as padding. *)
+    let grown = Array.make (max 8 (2 * id)) nb in
+    Array.blit reg.reps 0 grown 0 id;
+    reg.reps <- grown
+  end;
+  reg.reps.(id) <- nb;
   reg.count <- id + 1;
   id
 

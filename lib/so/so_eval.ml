@@ -89,7 +89,9 @@ let holds ?stats s phi ~env =
                 (Printf.sprintf "So_eval: relation variable %S arity mismatch" r);
             Tuple.Set.mem tup set
         | None -> (
-            match Structure.mem s r tup with
+            (* Signature relations probe the structure's O(1) index; the
+               quantified relation variables above are per-candidate sets. *)
+            match Structure.probe s r tup with
             | b -> b
             | exception Not_found ->
                 invalid_arg (Printf.sprintf "So_eval: unknown relation %S" r)))

@@ -1,0 +1,131 @@
+(* O(1)-probe membership indexes for relation tuple sets.
+
+   Three representations, picked by arity and domain size:
+   - [Bitset]: a Bytes-backed bitset addressed by the tuple packed in base
+     [size] — used for arity <= 2 whenever the bit space stays small.
+   - [Packed]: a hashtable keyed on the tuple packed into a single int —
+     used for higher arities when the packing fits in an OCaml int.
+   - [Generic]: a hashtable keyed on the tuple itself — fallback for
+     arities/domains whose packing would overflow. *)
+
+module IntTbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+module TupTbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let hash = Hashtbl.hash
+end)
+
+type repr =
+  | Empty
+  | Nullary  (* arity-0 relation containing the empty tuple *)
+  | Bitset of Bytes.t
+  | Packed of unit IntTbl.t
+  | Generic of unit TupTbl.t
+
+type t = { arity : int; size : int; repr : repr }
+
+let arity t = t.arity
+
+(* Largest bitset we are willing to allocate: 2^24 bits = 2 MiB. *)
+let bitset_bit_cap = 1 lsl 24
+
+(* [size^arity] if it fits comfortably in an int, else None. *)
+let packed_space ~size ~arity =
+  let rec go acc i =
+    if i = 0 then Some acc
+    else if size <> 0 && acc > max_int / size then None
+    else go (acc * size) (i - 1)
+  in
+  if size <= 0 then Some 0 else go 1 arity
+
+let pack ~size tup =
+  Array.fold_left (fun acc e -> (acc * size) + e) 0 tup
+
+let build ~size ~arity tuples =
+  if arity < 0 then invalid_arg "Index.build: negative arity";
+  let repr =
+    if Tuple.Set.is_empty tuples then Empty
+    else if arity = 0 then Nullary
+    else
+      match packed_space ~size ~arity with
+      | Some space when arity <= 2 && space <= bitset_bit_cap ->
+          let bits = Bytes.make ((space + 7) / 8) '\000' in
+          Tuple.Set.iter
+            (fun tup ->
+              let i = pack ~size tup in
+              let b = Char.code (Bytes.get bits (i lsr 3)) in
+              Bytes.set bits (i lsr 3) (Char.chr (b lor (1 lsl (i land 7)))))
+            tuples;
+          Bitset bits
+      | Some _ ->
+          let tbl = IntTbl.create (2 * Tuple.Set.cardinal tuples) in
+          Tuple.Set.iter (fun tup -> IntTbl.replace tbl (pack ~size tup) ()) tuples;
+          Packed tbl
+      | None ->
+          let tbl = TupTbl.create (2 * Tuple.Set.cardinal tuples) in
+          Tuple.Set.iter (fun tup -> TupTbl.replace tbl tup ()) tuples;
+          Generic tbl
+  in
+  { arity; size; repr }
+
+let of_tuples ~arity tuples =
+  (* Domain size inferred from the data: packing only needs a strict bound
+     on the coordinates actually present. *)
+  let size =
+    Tuple.Set.fold
+      (fun tup acc -> Array.fold_left (fun m e -> max m (e + 1)) acc tup)
+      tuples 0
+  in
+  build ~size ~arity tuples
+
+let bit_mem bits i =
+  Char.code (Bytes.get bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let in_domain t e = e >= 0 && e < t.size
+
+let mem t tup =
+  Array.length tup = t.arity
+  &&
+  match t.repr with
+  | Empty -> false
+  | Nullary -> true
+  | Bitset bits -> Array.for_all (in_domain t) tup && bit_mem bits (pack ~size:t.size tup)
+  | Packed tbl -> Array.for_all (in_domain t) tup && IntTbl.mem tbl (pack ~size:t.size tup)
+  | Generic tbl -> TupTbl.mem tbl tup
+
+(* Allocation-free probes for the common arities, used by the compiled
+   evaluator's atom closures. *)
+
+let mem1 t e =
+  t.arity = 1
+  &&
+  match t.repr with
+  | Empty -> false
+  | Bitset bits -> in_domain t e && bit_mem bits e
+  | Packed tbl -> in_domain t e && IntTbl.mem tbl e
+  | Generic tbl -> TupTbl.mem tbl [| e |]
+  | Nullary -> false
+
+let mem2 t x y =
+  t.arity = 2
+  &&
+  match t.repr with
+  | Empty -> false
+  | Bitset bits ->
+      in_domain t x && in_domain t y && bit_mem bits ((x * t.size) + y)
+  | Packed tbl ->
+      in_domain t x && in_domain t y && IntTbl.mem tbl ((x * t.size) + y)
+  | Generic tbl -> TupTbl.mem tbl [| x; y |]
+  | Nullary -> false

@@ -60,8 +60,8 @@ let rels_agree a b fwd doms =
       let tuples = tuples_over doms k ~pivot:None in
       List.for_all
         (fun t ->
-          Structure.mem a name t
-          = Structure.mem b name (Array.map (Hashtbl.find fwd) t))
+          Structure.probe a name t
+          = Structure.probe b name (Array.map (Hashtbl.find fwd) t))
         tuples)
     (Signature.rels sig_a)
 
@@ -96,8 +96,8 @@ let extension_ok a b pairs (x, y) =
                 let tuples = tuples_over doms k ~pivot:(Some x) in
                 List.for_all
                   (fun t ->
-                    Structure.mem a name t
-                    = Structure.mem b name (Array.map (Hashtbl.find fwd) t))
+                    Structure.probe a name t
+                    = Structure.probe b name (Array.map (Hashtbl.find fwd) t))
                   tuples)
               (Signature.rels sig_a)))
 

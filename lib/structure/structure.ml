@@ -6,7 +6,14 @@ type t = {
   size : int;
   rels : Tuple.Set.t SMap.t;
   consts : int SMap.t;
+  (* Lazily built per-relation membership indexes (see Index). Every
+     constructor/derivation starts from an empty cache — a derived
+     structure must never inherit indexes of relations it changed. *)
+  mutable indexes : Index.t SMap.t;
 }
+
+let create ~signature ~size ~rels ~consts =
+  { signature; size; rels; consts; indexes = SMap.empty }
 
 let check_tuple name size arity tup =
   if Array.length tup <> arity then
@@ -56,7 +63,7 @@ let make sg ~size ?(consts = []) rel_tuples =
             SMap.add name e acc)
       SMap.empty (Signature.consts sg)
   in
-  { signature = sg; size; rels; consts = consts_map }
+  create ~signature:sg ~size ~rels ~consts:consts_map
 
 let signature t = t.signature
 let size t = t.size
@@ -67,6 +74,23 @@ let rel t name =
   | None -> raise Not_found
 
 let mem t name tup = Tuple.Set.mem tup (rel t name)
+
+let index t name =
+  match SMap.find_opt name t.indexes with
+  | Some idx -> idx
+  | None ->
+      let idx =
+        Index.build ~size:t.size ~arity:(Signature.arity t.signature name)
+          (rel t name)
+      in
+      t.indexes <- SMap.add name idx t.indexes;
+      idx
+
+let probe t name tup = Index.mem (index t name) tup
+
+let ensure_indexes t =
+  List.iter (fun (name, _) -> ignore (index t name)) (Signature.rels t.signature)
+
 let const t name =
   match SMap.find_opt name t.consts with
   | Some e -> e
@@ -78,7 +102,8 @@ let tuple_count t =
 let with_rel t name arity tuples =
   Tuple.Set.iter (check_tuple name t.size arity) tuples;
   let signature = Signature.add_rel t.signature (name, arity) in
-  { t with signature; rels = SMap.add name tuples t.rels }
+  create ~signature ~size:t.size ~rels:(SMap.add name tuples t.rels)
+    ~consts:t.consts
 
 let expand_consts t bindings =
   List.iter
@@ -91,12 +116,11 @@ let expand_consts t bindings =
           (Printf.sprintf "Structure.expand_consts: %S -> %d outside domain"
              name e))
     bindings;
-  {
-    t with
-    signature = Signature.add_consts t.signature (List.map fst bindings);
-    consts =
-      List.fold_left (fun acc (n, e) -> SMap.add n e acc) t.consts bindings;
-  }
+  create
+    ~signature:(Signature.add_consts t.signature (List.map fst bindings))
+    ~size:t.size ~rels:t.rels
+    ~consts:
+      (List.fold_left (fun acc (n, e) -> SMap.add n e acc) t.consts bindings)
 
 let induced t elems =
   let elems = List.sort_uniq Int.compare elems in
@@ -129,12 +153,8 @@ let induced t elems =
       ~consts:(List.map fst (SMap.bindings kept_consts))
       (Signature.rels t.signature)
   in
-  ( {
-      signature;
-      size = Array.length embed;
-      rels;
-      consts = SMap.map (Hashtbl.find old_to_new) kept_consts;
-    },
+  ( create ~signature ~size:(Array.length embed) ~rels
+      ~consts:(SMap.map (Hashtbl.find old_to_new) kept_consts),
     embed )
 
 let disjoint_union a b =
@@ -150,7 +170,7 @@ let disjoint_union a b =
           (Tuple.map_set (fun e -> e + shift) (SMap.find name b.rels)))
       a.rels
   in
-  { a with size = a.size + b.size; rels }
+  create ~signature:a.signature ~size:(a.size + b.size) ~rels ~consts:a.consts
 
 let relabel t perm =
   if Array.length perm <> t.size then
@@ -162,11 +182,9 @@ let relabel t perm =
         invalid_arg "Structure.relabel: not a permutation";
       seen.(e) <- true)
     perm;
-  {
-    t with
-    rels = SMap.map (Tuple.map_set (fun e -> perm.(e))) t.rels;
-    consts = SMap.map (fun e -> perm.(e)) t.consts;
-  }
+  create ~signature:t.signature ~size:t.size
+    ~rels:(SMap.map (Tuple.map_set (fun e -> perm.(e))) t.rels)
+    ~consts:(SMap.map (fun e -> perm.(e)) t.consts)
 
 let equal a b =
   Signature.equal a.signature b.signature

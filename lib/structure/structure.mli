@@ -28,8 +28,24 @@ val domain : t -> int list
 (** Tuple set of a relation. @raise Not_found for undeclared relations. *)
 val rel : t -> string -> Tuple.Set.t
 
-(** Membership test for one tuple. *)
+(** Membership test for one tuple (set-based; the reference semantics). *)
 val mem : t -> string -> int array -> bool
+
+(** [probe t name tup] — same answer as {!mem} but through the relation's
+    O(1) membership index (see {!Index}), built lazily on first probe and
+    cached on the structure. Wrong-arity or out-of-domain tuples answer
+    [false], like {!mem}. @raise Not_found for undeclared relations. *)
+val probe : t -> string -> int array -> bool
+
+(** The cached membership index of one relation, for hot loops that want
+    to hoist the name lookup and use the allocation-free probes.
+    @raise Not_found for undeclared relations. *)
+val index : t -> string -> Index.t
+
+(** Force-build the indexes of every relation. Call before sharing the
+    structure across domains: index construction mutates the cache, probes
+    of a fully indexed structure are read-only. *)
+val ensure_indexes : t -> unit
 
 (** Interpretation of a constant. @raise Not_found if undeclared. *)
 val const : t -> string -> int

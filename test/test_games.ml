@@ -286,9 +286,9 @@ let test_pebble_monotone () =
 
 let test_memo_ablation () =
   let a = Gen.linear_order 5 and b = Gen.linear_order 6 in
-  let with_memo = Ef.duplicator_wins ~config:{ Ef.memo = true } ~rounds:2 a b in
+  let with_memo = Ef.duplicator_wins ~config:{ Ef.default_config with Ef.memo = true } ~rounds:2 a b in
   let explored_memo = Ef.last_positions_explored () in
-  let without = Ef.duplicator_wins ~config:{ Ef.memo = false } ~rounds:2 a b in
+  let without = Ef.duplicator_wins ~config:{ Ef.default_config with Ef.memo = false } ~rounds:2 a b in
   let explored_plain = Ef.last_positions_explored () in
   checkb "same verdict" with_memo without;
   checkb "memo explores no more positions" true (explored_memo <= explored_plain)
