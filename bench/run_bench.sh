@@ -1,7 +1,23 @@
 #!/bin/sh
-# Run the E23 evaluation benchmark and leave a machine-readable trail in
-# BENCH_eval.json (ns/run per workload, naive vs compiled and sequential
-# vs parallel EF). Extra arguments are passed through to bench/main.exe.
+# Run the perf-tracking benchmarks and leave machine-readable trails:
+#   E23 -> BENCH_eval.json   (naive vs compiled eval, sequential vs parallel EF)
+#   E24 -> BENCH_games.json  (orbit pruning x parallel fan-out grid)
+# --games-only skips the E23 eval re-timing and refreshes only
+# BENCH_games.json. Extra arguments are passed through to bench/main.exe.
 set -eu
 cd "$(dirname "$0")/.."
-exec dune exec bench/main.exe -- --only E23 --json BENCH_eval.json "$@"
+
+games_only=false
+passthrough=""
+for arg in "$@"; do
+  case "$arg" in
+  --games-only) games_only=true ;;
+  *) passthrough="$passthrough $arg" ;;
+  esac
+done
+
+# shellcheck disable=SC2086 # word splitting of passthrough is intended
+if [ "$games_only" = false ]; then
+  dune exec bench/main.exe -- --only E23 --json BENCH_eval.json $passthrough
+fi
+exec dune exec bench/main.exe -- --only E24 --json BENCH_games.json $passthrough

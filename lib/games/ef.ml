@@ -1,50 +1,71 @@
 module Structure = Fmtk_structure.Structure
 module Iso = Fmtk_structure.Iso
+module Orbit = Fmtk_structure.Orbit
+module Tbl = Packed.Tbl
 
-type config = { memo : bool; parallel : bool; workers : int option }
+type config = {
+  memo : bool;
+  parallel : bool;
+  workers : int option;
+  orbit : bool;
+}
 
-let default_config = { memo = true; parallel = true; workers = None }
-let positions_explored = ref 0
-let last_positions_explored () = !positions_explored
+let default_config = { memo = true; parallel = true; workers = None; orbit = true }
 
-(* Memo keys are flat int arrays: the round count followed by the position
-   as a sorted, deduplicated list of pairs packed as [x * span + y]. This
-   replaces the old polymorphic-compare key [(int, (int * int) list)] —
-   equality is a word-by-word int scan and hashing never walks list
-   spines. *)
-module Key = struct
-  type t = int array
+type stats = { positions : int; memo_hits : int; workers : int }
 
-  let equal (a : int array) b =
-    Array.length a = Array.length b
-    &&
-    let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
-    go (Array.length a - 1)
+(* Mirror of the last solve's position count for the deprecated accessor.
+   An [Atomic] so concurrent solves can't tear the write, but overlapping
+   solves still clobber each other — which is exactly why the accessor is
+   deprecated in favour of the per-call [stats]. *)
+let last_positions = Atomic.make 0
+let last_positions_explored () = Atomic.get last_positions
 
-  let hash (a : int array) =
-    Array.fold_left (fun h x -> ((h * 486187739) + x) land max_int) 17 a
+(* Sharded memo shared by all workers of one solve: key-hash -> shard,
+   mutex-guarded table per shard. A sequential solve ([locked = false])
+   uses one shard and skips the mutexes entirely — the lock-free fast
+   path. The parallel path must lock reads as well: a [Hashtbl] resize
+   concurrent with an unlocked [find_opt] is a data race in OCaml 5, so
+   "where safe" means single-worker. 64 shards keep contention low. *)
+module Memo = struct
+  type shard = { lock : Mutex.t; tbl : bool Tbl.t }
+  type t = { shards : shard array; mask : int; locked : bool }
+
+  let create ~locked =
+    let n = if locked then 64 else 1 in
+    {
+      shards =
+        Array.init n (fun _ ->
+            { lock = Mutex.create (); tbl = Tbl.create 1024 });
+      mask = n - 1;
+      locked;
+    }
+
+  let shard m key = m.shards.(Packed.Key.hash key land m.mask)
+
+  let find_opt m key =
+    let s = shard m key in
+    if not m.locked then Tbl.find_opt s.tbl key
+    else begin
+      Mutex.lock s.lock;
+      let r = Tbl.find_opt s.tbl key in
+      Mutex.unlock s.lock;
+      r
+    end
+
+  let add m key v =
+    let s = shard m key in
+    if not m.locked then Tbl.replace s.tbl key v
+    else begin
+      Mutex.lock s.lock;
+      Tbl.replace s.tbl key v;
+      Mutex.unlock s.lock
+    end
 end
 
-module Tbl = Hashtbl.Make (Key)
-
-(* [insert_packed packed p] — sorted-set insert; returns [packed] itself
-   when [p] is already present (a repeated pebble pair). Positions hold at
-   most [rounds] + |start| pairs, so the copy is tiny. *)
-let insert_packed packed p =
-  let len = Array.length packed in
-  let rec find i = if i = len || packed.(i) >= p then i else find (i + 1) in
-  let i = find 0 in
-  if i < len && packed.(i) = p then packed
-  else begin
-    let out = Array.make (len + 1) p in
-    Array.blit packed 0 out 0 i;
-    Array.blit packed i out (i + 1) (len - i);
-    out
-  end
-
-(* How many domains the root fan-out may use. With [workers = None] small
-   games stay sequential (spawning costs more than the whole search), as
-   does everything when [Domain.recommended_domain_count () = 1]; an
+(* How many domains the root fan-out may use. [moves] is the count of
+   orbit-pruned root moves, so symmetric structures (few orbits) stay
+   sequential — spawning would cost more than the whole search. An
    explicit [workers = Some k] forces the fan-out (tests use it to
    exercise the parallel path on any machine). *)
 let worker_count config ~rounds ~moves =
@@ -56,115 +77,149 @@ let worker_count config ~rounds ~moves =
         if rounds < 2 || moves < 12 then 1
         else min (min 8 (Domain.recommended_domain_count ())) moves
 
-let duplicator_wins_from ?(config = default_config) ~rounds a b start =
+let solve ?(config = default_config) ?(start = []) ~rounds a b =
   if rounds < 0 then invalid_arg "Ef: negative round count";
-  positions_explored := 0;
-  if not (Iso.partial_iso a b start) then false
+  let finish verdict ~positions ~memo_hits ~workers =
+    Atomic.set last_positions positions;
+    (verdict, { positions; memo_hits; workers })
+  in
+  if not (Iso.partial_iso a b start) then
+    finish false ~positions:0 ~memo_hits:0 ~workers:1
   else begin
     let dom_a = Structure.domain a and dom_b = Structure.domain b in
     (* Candidate ordering heuristic: try duplicator replies whose WL colour
        matches the spoiler's element first — the good reply is usually found
        immediately, which matters because [List.exists] short-circuits. *)
     let colors_a, colors_b = Iso.wl_colors a b in
-    let ordered_replies spoiler_color dom colors =
+    let ordered_replies spoiler_color replies colors =
       let matching, rest =
-        List.partition (fun y -> colors.(y) = spoiler_color) dom
+        List.partition (fun y -> colors.(y) = spoiler_color) replies
       in
       matching @ rest
     in
     let span = max 1 (Structure.size b) in
     let pack x y = (x * span) + y in
-    let packed_start =
-      Array.of_list
-        (List.sort_uniq Int.compare (List.map (fun (x, y) -> pack x y) start))
+    let packed_start = Packed.of_pairs ~span start in
+    (* Orbit oracles: spoiler moves (and duplicator replies) in the same
+       orbit of the pointwise stabilizer of the position's elements lead
+       to isomorphic subgames, so only one representative per orbit is
+       explored. Shared across workers — the caches are mutex-guarded. *)
+    let orbit_a, orbit_b =
+      if config.orbit then (Some (Orbit.make a), Some (Orbit.make b))
+      else (None, None)
     in
-    (* One independent searcher: its own memo table and position counter,
-       so parallel workers never share mutable state. *)
-    let searcher () =
-      let memo : bool Tbl.t = Tbl.create 1024 in
-      let explored = ref 0 in
-      let rec win n pairs packed =
+    let refine ot o pin =
+      match (ot, o) with
+      | Some t, Some o -> Some (Orbit.refine t o [ pin ])
+      | _ -> None
+    in
+    let moves_of o dom = match o with Some o -> Orbit.reps o | None -> dom in
+    let root_of ot side =
+      match ot with
+      | Some t -> Some (Orbit.refine t (Orbit.root t) (List.map side start))
+      | None -> None
+    in
+    let oa0 = root_of orbit_a fst and ob0 = root_of orbit_b snd in
+    (* One searcher per worker: private counters; memo and orbit caches
+       are the shared state. *)
+    let searcher memo =
+      let explored = ref 0 and hits = ref 0 in
+      let rec win n pairs packed oa ob =
         if n = 0 then true
         else begin
-          let key = Array.append [| n |] packed in
-          match if config.memo then Tbl.find_opt memo key else None with
-          | Some v -> v
+          let key = Packed.key ~rounds:n packed in
+          match if config.memo then Memo.find_opt memo key else None with
+          | Some v ->
+              incr hits;
+              v
           | None ->
               incr explored;
-              let spoiler_in_a =
-                List.for_all (fun x -> answer_in n pairs packed false x) dom_a
-              in
               let v =
-                spoiler_in_a
-                && List.for_all (fun y -> answer_in n pairs packed true y) dom_b
+                List.for_all
+                  (fun x -> answer_in n pairs packed oa ob false x)
+                  (moves_of oa dom_a)
+                && List.for_all
+                     (fun y -> answer_in n pairs packed oa ob true y)
+                     (moves_of ob dom_b)
               in
-              if config.memo then Tbl.replace memo key v;
+              if config.memo then Memo.add memo key v;
               v
         end
-      and answer_in n pairs packed other_first pick =
+      and answer_in n pairs packed oa ob other_first pick =
         let replies =
           if other_first then
-            ordered_replies colors_b.(pick) dom_a colors_a
-          else ordered_replies colors_a.(pick) dom_b colors_b
+            ordered_replies colors_b.(pick) (moves_of oa dom_a) colors_a
+          else ordered_replies colors_a.(pick) (moves_of ob dom_b) colors_b
         in
         List.exists
           (fun reply ->
             let x, y = if other_first then (reply, pick) else (pick, reply) in
             Iso.extension_ok a b pairs (x, y)
-            && win (n - 1) ((x, y) :: pairs) (insert_packed packed (pack x y)))
+            && win (n - 1)
+                 ((x, y) :: pairs)
+                 (Packed.insert packed (pack x y))
+                 (refine orbit_a oa x) (refine orbit_b ob y))
           replies
       in
-      (win, answer_in, explored)
+      (win, answer_in, explored, hits)
     in
     let sequential () =
-      let win, _, explored = searcher () in
-      let v = win rounds start packed_start in
-      positions_explored := !explored;
-      v
+      let memo = Memo.create ~locked:false in
+      let win, _, explored, hits = searcher memo in
+      let v = win rounds start packed_start oa0 ob0 in
+      finish v ~positions:!explored ~memo_hits:!hits ~workers:1
     in
-    if rounds = 0 then sequential ()
+    let root_moves =
+      List.map (fun x -> (false, x)) (moves_of oa0 dom_a)
+      @ List.map (fun y -> (true, y)) (moves_of ob0 dom_b)
+    in
+    let w = worker_count config ~rounds ~moves:(List.length root_moves) in
+    if rounds = 0 || w <= 1 then sequential ()
     else begin
-      let moves =
-        List.map (fun x -> (false, x)) dom_a
-        @ List.map (fun y -> (true, y)) dom_b
+      (* Root fan-out over a work-stealing queue: workers claim the next
+         unexplored root move with an atomic counter, so one domain never
+         ends up holding all the hard subtrees the way static chunking
+         did. The memo is shared, so workers extend — not repeat — each
+         other's searches. Indexes are forced first so the probes workers
+         make through [Iso.extension_ok] never write shared state. *)
+      Structure.ensure_indexes a;
+      Structure.ensure_indexes b;
+      let memo = Memo.create ~locked:true in
+      let moves = Array.of_list root_moves in
+      let next = Atomic.make 0 in
+      let refuted = Atomic.make false in
+      let positions = Atomic.make 1 (* the root position itself *) in
+      let hits_total = Atomic.make 0 in
+      let worker () =
+        let _, answer_in, explored, hits = searcher memo in
+        let rec loop () =
+          if not (Atomic.get refuted) then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < Array.length moves then begin
+              let other_first, pick = moves.(i) in
+              if
+                not (answer_in rounds start packed_start oa0 ob0 other_first pick)
+              then Atomic.set refuted true;
+              loop ()
+            end
+          end
+        in
+        loop ();
+        ignore (Atomic.fetch_and_add positions !explored);
+        ignore (Atomic.fetch_and_add hits_total !hits)
       in
-      let w = worker_count config ~rounds ~moves:(List.length moves) in
-      if w <= 1 then sequential ()
-      else begin
-        (* Root fan-out: each top-level spoiler move spans an independent
-           subtree; split the moves across domains, each with a private
-           memo. Indexes are forced first so the probes the workers make
-           through [Iso.extension_ok] never write shared state. *)
-        Structure.ensure_indexes a;
-        Structure.ensure_indexes b;
-        let chunks = Array.make w [] in
-        List.iteri (fun i m -> chunks.(i mod w) <- m :: chunks.(i mod w)) moves;
-        let run_chunk chunk () =
-          let _, answer_in, explored = searcher () in
-          let ok =
-            List.for_all
-              (fun (other_first, pick) ->
-                answer_in rounds start packed_start other_first pick)
-              chunk
-          in
-          (ok, !explored)
-        in
-        let spawned =
-          Array.map
-            (fun chunk -> Domain.spawn (run_chunk chunk))
-            (Array.sub chunks 1 (w - 1))
-        in
-        let ok0, explored0 = run_chunk chunks.(0) () in
-        let results = Array.map Domain.join spawned in
-        let all_ok = Array.for_all fst results && ok0 in
-        positions_explored :=
-          1 + explored0 + Array.fold_left (fun acc (_, e) -> acc + e) 0 results;
-        all_ok
-      end
+      let spawned = Array.init (w - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned;
+      finish
+        (not (Atomic.get refuted))
+        ~positions:(Atomic.get positions)
+        ~memo_hits:(Atomic.get hits_total) ~workers:w
     end
   end
 
-let duplicator_wins ?config ~rounds a b =
-  duplicator_wins_from ?config ~rounds a b []
+let duplicator_wins_from ?config ~rounds a b start =
+  fst (solve ?config ~start ~rounds a b)
 
+let duplicator_wins ?config ~rounds a b = fst (solve ?config ~rounds a b)
 let equiv ?config ~rank a b = duplicator_wins ?config ~rounds:rank a b

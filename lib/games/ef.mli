@@ -16,20 +16,52 @@ module Structure = Fmtk_structure.Structure
 
 (** Solver configuration. [memo] (default true) caches game positions,
     keyed by round count + the played pairs packed into a flat int array
-    (order-insensitive); the ablation bench disables it. [parallel]
-    (default true) splits the top-level spoiler moves across domains
-    ([Domain.spawn]) when the game is big enough and
-    [Domain.recommended_domain_count () > 1]; each worker searches its
-    subtrees with a private memo table, so verdicts are identical to the
-    sequential path (position counts may differ — memo hits are no longer
-    shared across root branches). [workers] (default [None]) overrides the
-    automatic worker count: [Some k] forces a [k]-domain fan-out even on
-    machines reporting a single recommended domain (tests use this to
-    exercise the parallel path deterministically); [Some 1] forces the
-    sequential path. *)
-type config = { memo : bool; parallel : bool; workers : int option }
+    (order-insensitive); the ablation bench disables it. [orbit] (default
+    true) prunes both spoiler moves and duplicator replies to one
+    representative per orbit of the automorphism group's pointwise
+    stabilizer of the position ({!Fmtk_structure.Orbit}) — game values
+    are invariant under automorphisms fixing the played elements, so
+    verdicts are unchanged while symmetric structures (cycles, sets,
+    disjoint unions of equal parts) collapse exponentially; rigid
+    structures take the near-free rigidity fast path. [parallel] (default
+    true) fans the orbit-pruned top-level spoiler moves out across
+    domains ([Domain.spawn]) through a work-stealing queue when the game
+    is big enough and [Domain.recommended_domain_count () > 1]; workers
+    share one sharded, mutex-guarded memo, so they extend rather than
+    repeat each other's searches and verdicts are identical to the
+    sequential path. [workers] (default [None]) overrides the automatic
+    worker count: [Some k] forces a [k]-domain fan-out even on machines
+    reporting a single recommended domain (tests use this to exercise the
+    parallel path deterministically); [Some 1] forces the sequential
+    path. *)
+type config = {
+  memo : bool;
+  parallel : bool;
+  workers : int option;
+  orbit : bool;
+}
 
 val default_config : config
+
+(** Counters of one solve. [positions] is the number of distinct game
+    positions expanded (memo misses); [memo_hits] the number of searches
+    answered from the memo; [workers] the domains actually used. In
+    parallel runs the counters are aggregated atomically across workers;
+    position counts can vary slightly run to run because workers race to
+    expand the same position. *)
+type stats = { positions : int; memo_hits : int; workers : int }
+
+(** [solve ?config ?start ~rounds a b] decides the [rounds]-round game
+    starting from the (default empty) position [start] and returns the
+    verdict together with the solve's {!stats}. Returns [false] if
+    [start] is not a partial isomorphism. *)
+val solve :
+  ?config:config ->
+  ?start:(int * int) list ->
+  rounds:int ->
+  Structure.t ->
+  Structure.t ->
+  bool * stats
 
 (** [duplicator_wins ?config ~rounds a b] decides whether the duplicator
     has a winning strategy in the [rounds]-round EF game on [(a, b)],
@@ -50,5 +82,8 @@ val duplicator_wins_from :
 (** [equiv ~rank a b] = [A ≡rank B]: duplicator wins the [rank]-round game. *)
 val equiv : ?config:config -> rank:int -> Structure.t -> Structure.t -> bool
 
-(** Number of positions explored by the last call (for the ablation bench). *)
+(** Number of positions explored by the last completed call, whichever
+    call that was: concurrent or overlapping solves clobber each other.
+    Use the {!stats} returned by {!solve} instead. *)
 val last_positions_explored : unit -> int
+[@@ocaml.deprecated "use the stats returned by Ef.solve"]

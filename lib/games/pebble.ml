@@ -1,52 +1,96 @@
 module Structure = Fmtk_structure.Structure
 module Iso = Fmtk_structure.Iso
+module Orbit = Fmtk_structure.Orbit
+module Tbl = Packed.Tbl
 
-let duplicator_wins ~pebbles ~rounds a b =
+type config = { memo : bool; orbit : bool }
+
+let default_config = { memo = true; orbit = true }
+
+let duplicator_wins ?(config = default_config) ~pebbles ~rounds a b =
   if pebbles <= 0 then invalid_arg "Pebble: need at least one pebble";
   if rounds < 0 then invalid_arg "Pebble: negative round count";
   if not (Iso.partial_iso a b []) then false
-  else
-    let memo : (int * (int * int) list, bool) Hashtbl.t = Hashtbl.create 256 in
+  else begin
     let dom_a = Structure.domain a and dom_b = Structure.domain b in
-    let canonical pairs = List.sort_uniq compare pairs in
-    (* Positions a spoiler move can start from: keep all pebbles, or lift
-       one (mandatory when every pebble is on the board). *)
-    let rec remove_one = function
-      | [] -> []
-      | p :: rest -> rest :: List.map (fun r -> p :: r) (remove_one rest)
+    let span = max 1 (Structure.size b) in
+    let pack x y = (x * span) + y in
+    (* Same reply-ordering heuristic as the EF solver: duplicator replies
+       whose WL colour matches the spoiler's element first. *)
+    let colors_a, colors_b = Iso.wl_colors a b in
+    let ordered_replies spoiler_color replies colors =
+      let matching, rest =
+        List.partition (fun y -> colors.(y) = spoiler_color) replies
+      in
+      matching @ rest
     in
-    let rec win n pairs =
+    (* Orbit pruning: the pebble game lifts pebbles, so pinned sets shrink
+       as well as grow — positions do not refine incrementally. Stabilizer
+       orbits are therefore looked up per base position (cached in the
+       oracle). *)
+    let orbit_a, orbit_b =
+      if config.orbit then (Some (Orbit.make a), Some (Orbit.make b))
+      else (None, None)
+    in
+    let moves_of ot pinned dom =
+      match ot with
+      | Some t -> Orbit.reps (Orbit.stabilizer t pinned)
+      | None -> dom
+    in
+    (* Positions are sorted packed pair arrays (set semantics: re-pebbling
+       an occupied pair collapses); memo keys prepend the round count. *)
+    let memo : bool Tbl.t = Tbl.create 256 in
+    let rec win n packed =
       if n = 0 then true
-      else
-        let key = (n, pairs) in
-        match Hashtbl.find_opt memo key with
+      else begin
+        let key = Packed.key ~rounds:n packed in
+        match if config.memo then Tbl.find_opt memo key else None with
         | Some v -> v
         | None ->
+            (* Positions a spoiler move can start from: keep all pebbles,
+               or lift one (mandatory when every pebble is on the board).
+               [packed] is a strictly sorted set, so the lifted variants
+               are pairwise distinct by construction. *)
+            let lifted =
+              List.init (Array.length packed) (Packed.remove packed)
+            in
             let bases =
-              let lifted = List.map canonical (remove_one pairs) in
-              if List.length pairs < pebbles then pairs :: lifted else lifted
+              if Array.length packed < pebbles then packed :: lifted
+              else lifted
             in
-            let duplicator_survives base (side_is_a, e) =
-              let replies = match side_is_a with true -> dom_b | false -> dom_a in
-              List.exists
-                (fun r ->
-                  let pair = if side_is_a then (e, r) else (r, e) in
-                  let next = canonical (pair :: base) in
-                  Iso.partial_iso a b next && win (n - 1) next)
-                replies
+            let bases = if bases = [] then [ [||] ] else bases in
+            let survives base =
+              let base_pairs = Packed.to_pairs ~span base in
+              let pinned_a = List.map fst base_pairs
+              and pinned_b = List.map snd base_pairs in
+              let answer spoiler_in_a e =
+                let replies =
+                  if spoiler_in_a then
+                    ordered_replies colors_a.(e)
+                      (moves_of orbit_b pinned_b dom_b)
+                      colors_b
+                  else
+                    ordered_replies colors_b.(e)
+                      (moves_of orbit_a pinned_a dom_a)
+                      colors_a
+                in
+                List.exists
+                  (fun r ->
+                    let x, y = if spoiler_in_a then (e, r) else (r, e) in
+                    Iso.extension_ok a b base_pairs (x, y)
+                    && win (n - 1) (Packed.insert base (pack x y)))
+                  replies
+              in
+              List.for_all (answer true) (moves_of orbit_a pinned_a dom_a)
+              && List.for_all (answer false) (moves_of orbit_b pinned_b dom_b)
             in
-            let moves =
-              List.map (fun e -> (true, e)) dom_a
-              @ List.map (fun e -> (false, e)) dom_b
-            in
-            let v =
-              List.for_all
-                (fun base -> List.for_all (duplicator_survives base) moves)
-                (List.sort_uniq compare bases)
-            in
-            Hashtbl.replace memo key v;
+            let v = List.for_all survives bases in
+            if config.memo then Tbl.replace memo key v;
             v
+      end
     in
-    win rounds []
+    win rounds [||]
+  end
 
-let equiv_fo_k ~k ~rank a b = duplicator_wins ~pebbles:k ~rounds:rank a b
+let equiv_fo_k ?config ~k ~rank a b =
+  duplicator_wins ?config ~pebbles:k ~rounds:rank a b

@@ -11,11 +11,25 @@
 
 module Structure = Fmtk_structure.Structure
 
+(** [memo] (default true): cache positions under packed int-array keys
+    (round count + sorted packed pairs — the same representation as
+    {!Ef}, replacing the old polymorphic-compare list keys). [orbit]
+    (default true): prune spoiler moves and duplicator replies to
+    representatives of the stabilizer orbits of the base position
+    ({!Fmtk_structure.Orbit}); verdict-preserving, near-free on rigid
+    structures. *)
+type config = { memo : bool; orbit : bool }
+
+val default_config : config
+
 (** [duplicator_wins ~pebbles ~rounds a b] decides the game exactly
     (memoized search; exponential in [rounds], use on small instances). *)
 val duplicator_wins :
+  ?config:config ->
   pebbles:int -> rounds:int -> Structure.t -> Structure.t -> bool
 
 (** [equiv_fo_k ~k ~rank a b]: agreement on FO^k up to quantifier rank
     [rank] — [duplicator_wins ~pebbles:k ~rounds:rank]. *)
-val equiv_fo_k : k:int -> rank:int -> Structure.t -> Structure.t -> bool
+val equiv_fo_k :
+  ?config:config ->
+  k:int -> rank:int -> Structure.t -> Structure.t -> bool

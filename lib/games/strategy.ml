@@ -1,24 +1,43 @@
 module Structure = Fmtk_structure.Structure
 module Iso = Fmtk_structure.Iso
+module Orbit = Fmtk_structure.Orbit
 
 type side = Left | Right
 type t = rounds_left:int -> (int * int) list -> side -> int -> int
 
-let verify ~rounds a b strategy =
+let verify ?(symmetry = false) ~rounds a b strategy =
   if not (Iso.partial_iso a b []) then Some []
   else
-    let moves =
-      List.map (fun e -> (Left, e)) (Structure.domain a)
-      @ List.map (fun e -> (Right, e)) (Structure.domain b)
+    let dom_a = Structure.domain a and dom_b = Structure.domain b in
+    (* Symmetry pruning: spoiler moves in the same orbit of the pointwise
+       stabilizer of the position lead to isomorphic positions, so only
+       orbit representatives are played (see the mli for what a [None]
+       certifies in that mode). *)
+    let orbit_a, orbit_b =
+      if symmetry then (Some (Orbit.make a), Some (Orbit.make b))
+      else (None, None)
     in
+    let moves_of ot o dom =
+      match (ot, o) with Some _, Some o -> Orbit.reps o | _ -> dom
+    in
+    let refine ot o pin =
+      match (ot, o) with
+      | Some t, Some o -> Some (Orbit.refine t o [ pin ])
+      | _ -> None
+    in
+    let root ot = match ot with Some t -> Some (Orbit.root t) | None -> None in
     (* Pairs are carried newest-first (O(1) extension instead of a
        quadratic [pairs @ [..]] append) and normalized back to play order
        at the consumers: the strategy contract promises the position in
        play order, while [Iso.extension_ok] is order-insensitive. *)
-    let rec go r rev_pairs trace =
+    let rec go r rev_pairs trace oa ob =
       if r = 0 then None
       else
         let pairs = List.rev rev_pairs in
+        let moves =
+          List.map (fun e -> (Left, e)) (moves_of orbit_a oa dom_a)
+          @ List.map (fun e -> (Right, e)) (moves_of orbit_b ob dom_b)
+        in
         List.find_map
           (fun (side, e) ->
             let losing = Some (List.rev ((side, e) :: trace)) in
@@ -29,10 +48,12 @@ let verify ~rounds a b strategy =
                   match side with Left -> (e, reply) | Right -> (reply, e)
                 in
                 if not (Iso.extension_ok a b rev_pairs (x, y)) then losing
-                else go (r - 1) ((x, y) :: rev_pairs) ((side, e) :: trace))
+                else
+                  go (r - 1) ((x, y) :: rev_pairs) ((side, e) :: trace)
+                    (refine orbit_a oa x) (refine orbit_b ob y))
           moves
     in
-    go rounds [] []
+    go rounds [] [] (root orbit_a) (root orbit_b)
 
 let verify_sampled ~rng ~lines ~rounds a b strategy =
   if not (Iso.partial_iso a b []) then Some []

@@ -25,8 +25,21 @@ type t = rounds_left:int -> (int * int) list -> side -> int -> int
     strategy survives everything (hence [A ≡rounds B] is certified), or
     [Some trace] with a losing spoiler line. Cost: O((|A|+|B|)^rounds) —
     exhaustive certification is for moderate sizes; use {!verify_sampled}
-    beyond that. *)
+    beyond that.
+
+    [~symmetry:true] (default false) prunes spoiler moves to one
+    representative per orbit of the automorphism group's pointwise
+    stabilizer of the position ({!Fmtk_structure.Orbit}) — on highly
+    symmetric structures (cycles, sets) this collapses the root branching
+    factor. A returned trace is always a genuine losing line for
+    [strategy]. A [None] still certifies [A ≡rounds B]: game values are
+    invariant under automorphisms fixing the position, so surviving every
+    representative line proves the duplicator wins the game — though
+    [strategy] itself is only guaranteed on the representative lines (off
+    them, the winning replies are the automorphic transports). Rigid
+    structures make the pruning a no-op at negligible cost. *)
 val verify :
+  ?symmetry:bool ->
   rounds:int -> Structure.t -> Structure.t -> t -> (side * int) list option
 
 (** [verify_sampled ~rng ~lines ~rounds a b strategy] plays [lines]

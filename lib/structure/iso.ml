@@ -146,17 +146,10 @@ let initial_color_strings t =
     (Signature.consts sg);
   Array.map Buffer.contents buf
 
-let wl_colors a b =
-  let na = Structure.size a and nb = Structure.size b in
-  let adj_a = gaifman_adj a and adj_b = gaifman_adj b in
-  (* Combined node space: a-nodes first, then b-nodes. *)
-  let adj =
-    Array.init (na + nb) (fun i ->
-        if i < na then adj_a.(i) else List.map (fun v -> v + na) adj_b.(i - na))
-  in
-  let init =
-    Array.append (initial_color_strings a) (initial_color_strings b)
-  in
+(* Shared refinement loop: iterate colour refinement over an adjacency
+   array from given initial colour strings until the number of colour
+   classes stops growing. *)
+let wl_refine adj init =
   let intern strings =
     let table = Hashtbl.create 64 in
     let next = ref 0 in
@@ -193,8 +186,23 @@ let wl_colors a b =
     if count' > count then refine count'
   in
   refine (distinct !colors);
-  let final = !colors in
+  !colors
+
+let wl_colors a b =
+  let na = Structure.size a and nb = Structure.size b in
+  let adj_a = gaifman_adj a and adj_b = gaifman_adj b in
+  (* Combined node space: a-nodes first, then b-nodes. *)
+  let adj =
+    Array.init (na + nb) (fun i ->
+        if i < na then adj_a.(i) else List.map (fun v -> v + na) adj_b.(i - na))
+  in
+  let init =
+    Array.append (initial_color_strings a) (initial_color_strings b)
+  in
+  let final = wl_refine adj init in
   (Array.sub final 0 na, Array.sub final na nb)
+
+let wl_colors1 t = wl_refine (gaifman_adj t) (initial_color_strings t)
 
 (* Content-canonical colour labels: unlike the interned ids of [wl_colors]
    (whose numbering depends on element order and is only comparable within

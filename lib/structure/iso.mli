@@ -33,3 +33,9 @@ val invariant_key : Structure.t -> string
 (** Colour refinement (1-WL) colours of the two structures, computed jointly
     so colours are comparable across them. Exposed for testing. *)
 val wl_colors : Structure.t -> Structure.t -> int array * int array
+
+(** Colour refinement of a single structure. The interned colour ids are
+    only comparable within the returned array. Constants individualize
+    their elements, so a structure whose refinement is discrete (all
+    colours distinct) is rigid — the fast path of {!Orbit}. *)
+val wl_colors1 : Structure.t -> int array

@@ -230,10 +230,20 @@ let prop_definable_relation =
    [Domain.spawn] path runs even where the machine reports one core. *)
 let ef_configs =
   [
-    ("memo seq", { Ef.memo = true; parallel = false; workers = None });
-    ("no-memo seq", { Ef.memo = false; parallel = false; workers = None });
-    ("memo par3", { Ef.memo = true; parallel = true; workers = Some 3 });
-    ("no-memo par2", { Ef.memo = false; parallel = true; workers = Some 2 });
+    ( "memo seq",
+      { Ef.memo = true; parallel = false; workers = None; orbit = true } );
+    ( "no-memo seq",
+      { Ef.memo = false; parallel = false; workers = None; orbit = true } );
+    ( "memo seq no-orbit",
+      { Ef.memo = true; parallel = false; workers = None; orbit = false } );
+    ( "no-memo seq no-orbit",
+      { Ef.memo = false; parallel = false; workers = None; orbit = false } );
+    ( "memo par3",
+      { Ef.memo = true; parallel = true; workers = Some 3; orbit = true } );
+    ( "memo par3 no-orbit",
+      { Ef.memo = true; parallel = true; workers = Some 3; orbit = false } );
+    ( "no-memo par2",
+      { Ef.memo = false; parallel = true; workers = Some 2; orbit = true } );
     ("auto", Ef.default_config);
   ]
 

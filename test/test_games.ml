@@ -286,12 +286,16 @@ let test_pebble_monotone () =
 
 let test_memo_ablation () =
   let a = Gen.linear_order 5 and b = Gen.linear_order 6 in
-  let with_memo = Ef.duplicator_wins ~config:{ Ef.default_config with Ef.memo = true } ~rounds:2 a b in
-  let explored_memo = Ef.last_positions_explored () in
-  let without = Ef.duplicator_wins ~config:{ Ef.default_config with Ef.memo = false } ~rounds:2 a b in
-  let explored_plain = Ef.last_positions_explored () in
+  let with_memo, stats_memo =
+    Ef.solve ~config:{ Ef.default_config with Ef.memo = true } ~rounds:2 a b
+  in
+  let without, stats_plain =
+    Ef.solve ~config:{ Ef.default_config with Ef.memo = false } ~rounds:2 a b
+  in
   checkb "same verdict" with_memo without;
-  checkb "memo explores no more positions" true (explored_memo <= explored_plain)
+  checkb "memo explores no more positions" true
+    (stats_memo.Ef.positions <= stats_plain.Ef.positions);
+  checkb "no-memo path reports no hits" true (stats_plain.Ef.memo_hits = 0)
 
 (* ---------- QCheck properties ---------- *)
 
