@@ -2,10 +2,17 @@
 # Run the perf-tracking benchmarks and leave machine-readable trails:
 #   E23 -> BENCH_eval.json   (naive vs compiled eval, sequential vs parallel EF)
 #   E24 -> BENCH_games.json  (orbit pruning x parallel fan-out grid)
+#   E25 -> BENCH_budget.json (budget poll overhead on the rigid-order workload)
 # --games-only skips the E23 eval re-timing and refreshes only
 # BENCH_games.json. Extra arguments are passed through to bench/main.exe.
+#
+# Every section runs under a per-case deadline (FMTK_BENCH_DEADLINE
+# seconds, default 600) so one pathological case cannot stall the run;
+# a section that overruns is reported as skipped and the next one runs.
 set -eu
 cd "$(dirname "$0")/.."
+
+: "${FMTK_BENCH_DEADLINE:=600}"
 
 games_only=false
 passthrough=""
@@ -18,6 +25,10 @@ done
 
 # shellcheck disable=SC2086 # word splitting of passthrough is intended
 if [ "$games_only" = false ]; then
-  dune exec bench/main.exe -- --only E23 --json BENCH_eval.json $passthrough
+  dune exec bench/main.exe -- --only E23 --json BENCH_eval.json \
+    --deadline "$FMTK_BENCH_DEADLINE" $passthrough
+  dune exec bench/main.exe -- --only E25 --json BENCH_budget.json \
+    --deadline "$FMTK_BENCH_DEADLINE" $passthrough
 fi
-exec dune exec bench/main.exe -- --only E24 --json BENCH_games.json $passthrough
+exec dune exec bench/main.exe -- --only E24 --json BENCH_games.json \
+  --deadline "$FMTK_BENCH_DEADLINE" $passthrough

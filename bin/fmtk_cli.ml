@@ -2,7 +2,11 @@
 
    Structures are given either as files (see Structure_io) or as generator
    specs like "cycle:8", "order:5", "chain:6", "set:4", "complete:3",
-   "tree:3", "grid:3x4", "random:20:0.3:7", "paley:13". *)
+   "tree:3", "grid:3x4", "random:20:0.3:7", "paley:13".
+
+   Exit codes: 0 success, 1 usage/input error, 2 resource budget
+   exhausted before an answer (gave up), 3 internal error. Set
+   FMTK_DEBUG=1 to get a backtrace on internal errors. *)
 
 module Signature = Fmtk_logic.Signature
 module Formula = Fmtk_logic.Formula
@@ -24,8 +28,33 @@ module Paley = Fmtk_zeroone.Paley
 module Fo_circuit = Fmtk_circuits.Fo_circuit
 module Engine = Fmtk_datalog.Engine
 module Programs = Fmtk_datalog.Programs
+module Budget = Fmtk_runtime.Budget
+module Decide = Fmtk.Decide
 
 open Cmdliner
+
+(* ---- uniform command execution and exit codes ---- *)
+
+let debug_enabled () = Sys.getenv_opt "FMTK_DEBUG" = Some "1"
+
+(* Every subcommand body runs through [exec]: errors become a uniform
+   [Error (`Msg _)] (exit 1), budget exhaustion exits 2, anything else
+   is an internal error (exit 3, backtrace only under FMTK_DEBUG=1). *)
+let exec body =
+  match body () with
+  | Ok () -> 0
+  | Error (`Msg m) ->
+      Format.eprintf "fmtk: %s@." m;
+      1
+  | exception Budget.Exhausted r ->
+      Format.eprintf "fmtk: gave up: %s budget exhausted@."
+        (Budget.reason_to_string r);
+      2
+  | exception e ->
+      Format.eprintf "fmtk: internal error: %s@." (Printexc.to_string e);
+      if debug_enabled () then
+        Format.eprintf "%s@." (Printexc.get_backtrace ());
+      3
 
 (* ---- structure argument ---- *)
 
@@ -55,7 +84,11 @@ let structure_conv =
     match parse_spec spec with
     | Ok s -> Ok s
     | Error (`Msg _) as e -> e
-    | exception e -> Error (`Msg (Printexc.to_string e))
+    | exception e ->
+        Error
+          (`Msg
+             (Printf.sprintf "bad structure spec %S: %s" spec
+                (Printexc.to_string e)))
   in
   Arg.conv (parse, fun ppf s -> Format.fprintf ppf "<structure n=%d>" (Structure.size s))
 
@@ -74,21 +107,56 @@ let formula_arg idx =
     & pos idx (some formula_conv) None
     & info [] ~docv:"FORMULA" ~doc:"First-order formula (fmtk syntax).")
 
+(* ---- resource budget flags ---- *)
+
+let budget_term =
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Give up after $(docv) seconds of wall-clock time (exit code 2).")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Give up after $(docv) solver steps (exit code 2).")
+  in
+  let mk deadline_in fuel =
+    match (deadline_in, fuel) with
+    | None, None -> Budget.unlimited
+    | _ ->
+        (* Small fuel counts must actually bind: the poll interval is a
+           granted step window, so keep it well under the fuel pool. *)
+        let poll_interval =
+          match fuel with
+          | Some f -> max 1 (min 256 (f / 10))
+          | None -> 256
+        in
+        Budget.create ?deadline_in ?fuel ~poll_interval ()
+  in
+  Term.(const mk $ timeout $ fuel)
+
 (* ---- eval ---- *)
 
 let eval_cmd =
   let run s phi use_ra =
+    exec @@ fun () ->
     let fv = Formula.free_vars phi in
-    if fv = [] then
-      let v = if use_ra then Compile.sat s phi else Eval.sat s phi in
-      Format.printf "%b@." v
-    else begin
-      let vars, answers =
-        if use_ra then Compile.answers s phi else Eval.answers s phi
-      in
-      Format.printf "answers over (%s):@." (String.concat "," vars);
-      Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) answers
-    end
+    (if fv = [] then
+       let v = if use_ra then Compile.sat s phi else Eval.sat s phi in
+       Format.printf "%b@." v
+     else begin
+       let vars, answers =
+         if use_ra then Compile.answers s phi else Eval.answers s phi
+       in
+       Format.printf "answers over (%s):@." (String.concat "," vars);
+       Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) answers
+     end);
+    Ok ()
   in
   let ra =
     Arg.(value & flag & info [ "ra" ] ~doc:"Evaluate through the relational-algebra compiler.")
@@ -103,17 +171,36 @@ let eval_cmd =
 (* ---- game ---- *)
 
 let game_cmd =
-  let run a b rounds distinguish =
-    let wins = Ef.duplicator_wins ~rounds a b in
-    Format.printf "duplicator %s the %d-round game@."
-      (if wins then "wins" else "loses")
-      rounds;
-    if distinguish && not wins then
-      match Distinguish.sentence ~rounds a b with
-      | Some phi ->
-          Format.printf "distinguishing sentence (qr ≤ %d): %a@." rounds
-            Formula.pp phi
-      | None -> ()
+  let run a b rounds distinguish budget =
+    exec @@ fun () ->
+    let outcome = Decide.equiv ~budget ~extract:distinguish ~rank:rounds a b in
+    (match outcome.Decide.verdict with
+    | Decide.Equivalent ->
+        Format.printf "duplicator wins the %d-round game@." rounds;
+        (match outcome.Decide.answered_by with
+        | Some m when m <> Decide.Exact_game ->
+            Format.printf "(exact search gave up; certified by %s)@."
+              (Decide.method_to_string m)
+        | _ -> ())
+    | Decide.Distinguished phi_opt -> (
+        Format.printf "duplicator loses the %d-round game@." rounds;
+        match phi_opt with
+        | Some phi when distinguish ->
+            Format.printf "distinguishing sentence (qr ≤ %d): %a@." rounds
+              Formula.pp phi
+        | _ -> ())
+    | Decide.Distinguishable ->
+        let m =
+          match outcome.Decide.answered_by with
+          | Some m -> Decide.method_to_string m
+          | None -> "certificate"
+        in
+        Format.printf
+          "exact search gave up; %s certifies the structures are \
+           distinguishable (at some rank, possibly above %d)@."
+          m rounds
+    | Decide.Gave_up r -> raise (Budget.Exhausted r));
+    Ok ()
   in
   let rounds =
     Arg.(
@@ -133,12 +220,13 @@ let game_cmd =
       const run
       $ structure_arg ~name:"LEFT" ~doc:"First structure." 0
       $ structure_arg ~name:"RIGHT" ~doc:"Second structure." 1
-      $ rounds $ distinguish)
+      $ rounds $ distinguish $ budget_term)
 
 (* ---- locality ---- *)
 
 let census_cmd =
   let run s radius =
+    exec @@ fun () ->
     let reg = Neighborhood.create_registry () in
     let census = Neighborhood.census reg s ~radius in
     Format.printf "radius-%d neighborhood census (%d types):@." radius
@@ -148,7 +236,8 @@ let census_cmd =
         let rep = Neighborhood.representative reg id in
         Format.printf "  type %d: %d element(s), ball size %d@." id count
           (Structure.size rep))
-      census
+      census;
+    Ok ()
   in
   let radius =
     Arg.(
@@ -164,12 +253,14 @@ let census_cmd =
 
 let hanf_cmd =
   let run a b radius threshold =
-    match threshold with
+    exec @@ fun () ->
+    (match threshold with
     | None ->
         Format.printf "G ⇆%d G': %b@." radius (Hanf.equiv ~radius a b)
     | Some m ->
         Format.printf "G ⇆*%d,%d G': %b@." m radius
-          (Hanf.threshold_equiv ~threshold:m ~radius a b)
+          (Hanf.threshold_equiv ~threshold:m ~radius a b));
+    Ok ()
   in
   let radius =
     Arg.(
@@ -194,9 +285,11 @@ let hanf_cmd =
 
 let mu_cmd =
   let run phi n trials seed =
+    exec @@ fun () ->
     let rng = Random.State.make [| seed |] in
     let m = Estimator.mu_formula ~rng ~trials Signature.graph n phi in
-    Format.printf "μ_%d ≈ %.4f  (%d trials)@." n m trials
+    Format.printf "μ_%d ≈ %.4f  (%d trials)@." n m trials;
+    Ok ()
   in
   let n =
     Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Domain size.")
@@ -211,12 +304,14 @@ let mu_cmd =
 
 let decide_cmd =
   let run phi size seed =
+    exec @@ fun () ->
     let source =
       match size with
       | Some sz -> Almost_sure.Search (Random.State.make [| seed |], sz)
       | None -> Almost_sure.Paley
     in
-    Format.printf "μ = %.0f@." (Almost_sure.mu ~source phi)
+    Format.printf "μ = %.0f@." (Almost_sure.mu ~source phi);
+    Ok ()
   in
   let size =
     Arg.(
@@ -235,12 +330,14 @@ let decide_cmd =
 
 let circuit_cmd =
   let run phi size =
+    exec @@ fun () ->
     let compiled = Fo_circuit.compile Signature.graph ~size phi in
     Format.printf "domain size %d: circuit size %d, depth %d, %d inputs@."
       size
       (Fo_circuit.circuit_size compiled)
       (Fo_circuit.circuit_depth compiled)
-      (Fo_circuit.input_count compiled)
+      (Fo_circuit.input_count compiled);
+    Ok ()
   in
   let size =
     Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Domain size.")
@@ -252,25 +349,36 @@ let circuit_cmd =
 (* ---- datalog ---- *)
 
 let datalog_cmd =
-  let run s program strategy =
-    let prog, pred =
+  let run s program strategy budget =
+    exec @@ fun () ->
+    match
       match program with
-      | "tc" -> (Programs.transitive_closure, "tc")
-      | "sg" -> (Programs.same_generation, "sg")
-      | "unreach" -> (Programs.unreachable, "unreach")
-      | other -> failwith (Printf.sprintf "unknown program %S (tc|sg|unreach)" other)
-    in
-    let db = Engine.Db.of_structure s in
-    let result, stats =
-      match strategy with
-      | "naive" -> Engine.naive prog db
-      | _ -> Engine.seminaive prog db
-    in
-    let tuples = Engine.Db.find result pred in
-    Format.printf "%s: %d tuples (%d iterations, %d join steps)@." pred
-      (Tuple.Set.cardinal tuples)
-      stats.Engine.iterations stats.Engine.join_work;
-    Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) tuples
+      | "tc" -> Ok (Programs.transitive_closure, "tc")
+      | "sg" -> Ok (Programs.same_generation, "sg")
+      | "unreach" -> Ok (Programs.unreachable, "unreach")
+      | other ->
+          Error (`Msg (Printf.sprintf "unknown program %S (tc|sg|unreach)" other))
+    with
+    | Error _ as e -> e
+    | Ok (prog, pred) -> (
+        match
+          match strategy with
+          | "naive" -> Ok (Engine.naive ~budget prog)
+          | "seminaive" -> Ok (Engine.seminaive ~budget prog)
+          | other ->
+              Error
+                (`Msg (Printf.sprintf "unknown strategy %S (naive|seminaive)" other))
+        with
+        | Error _ as e -> e
+        | Ok eval ->
+            let db = Engine.Db.of_structure s in
+            let result, stats = eval db in
+            let tuples = Engine.Db.find result pred in
+            Format.printf "%s: %d tuples (%d iterations, %d join steps)@." pred
+              (Tuple.Set.cardinal tuples)
+              stats.Engine.iterations stats.Engine.join_work;
+            Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) tuples;
+            Ok ())
   in
   let program =
     Arg.(
@@ -287,12 +395,13 @@ let datalog_cmd =
     Term.(
       const run
       $ structure_arg ~name:"STRUCTURE" ~doc:"EDB structure." 0
-      $ program $ strategy)
+      $ program $ strategy $ budget_term)
 
 (* ---- reduce ---- *)
 
 let reduce_cmd =
   let run trick n =
+    exec @@ fun () ->
     let ord = Gen.linear_order n in
     match trick with
     | "conn" ->
@@ -300,12 +409,14 @@ let reduce_cmd =
         Format.printf "%a@." Structure.pp g;
         Format.printf "components: %d (order size %d is %s)@."
           (Graph.component_count g) n
-          (if n mod 2 = 0 then "even" else "odd")
+          (if n mod 2 = 0 then "even" else "odd");
+        Ok ()
     | "acycl" ->
         let g = Fmtk.Reductions.acycl_construction ord in
         Format.printf "%a@." Structure.pp g;
-        Format.printf "acyclic: %b@." (Graph.acyclic g)
-    | other -> failwith (Printf.sprintf "unknown trick %S (conn|acycl)" other)
+        Format.printf "acyclic: %b@." (Graph.acyclic g);
+        Ok ()
+    | other -> Error (`Msg (Printf.sprintf "unknown trick %S (conn|acycl)" other))
   in
   let trick =
     Arg.(value & opt string "conn" & info [ "trick" ] ~docv:"T" ~doc:"conn or acycl.")
@@ -320,16 +431,18 @@ let reduce_cmd =
 (* ---- qbf ---- *)
 
 let qbf_cmd =
-  let run n =
+  let run n budget =
+    exec @@ fun () ->
     let q = Fmtk_qbf.Qbf.pigeonhole_valid n in
-    let direct = Fmtk_qbf.Qbf.solve q in
+    let direct = Fmtk_qbf.Qbf.solve ~budget q in
     let via_fo = Fmtk_qbf.Reduction.decide_via_fo q in
     Format.printf
       "pigeonhole(%d): %d quantifiers, QBF solver: %b, via FO model \
        checking: %b@."
       n
       (Fmtk_qbf.Qbf.quantifier_count q)
-      direct via_fo
+      direct via_fo;
+    Ok ()
   in
   let n =
     Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Pigeonhole size.")
@@ -337,21 +450,27 @@ let qbf_cmd =
   Cmd.v
     (Cmd.info "qbf"
        ~doc:"Solve a QBF directly and through the PSPACE-hardness reduction")
-    Term.(const run $ n)
+    Term.(const run $ n $ budget_term)
 
 (* ---- mso / ifp ---- *)
 
 let mso_cmd =
-  let run s query =
-    let phi =
+  let run s query budget =
+    exec @@ fun () ->
+    match
       match query with
-      | "even" -> Fmtk_so.So_queries.even_on_orders
-      | "conn" -> Fmtk_so.So_queries.connectivity
-      | "3col" -> Fmtk_so.So_queries.three_colorable
-      | "ham" -> Fmtk_so.So_queries.hamiltonian_path
-      | other -> failwith (Printf.sprintf "unknown MSO query %S (even|conn|3col|ham)" other)
-    in
-    Format.printf "%b@." (Fmtk_so.So_eval.sat s phi)
+      | "even" -> Ok Fmtk_so.So_queries.even_on_orders
+      | "conn" -> Ok Fmtk_so.So_queries.connectivity
+      | "3col" -> Ok Fmtk_so.So_queries.three_colorable
+      | "ham" -> Ok Fmtk_so.So_queries.hamiltonian_path
+      | other ->
+          Error
+            (`Msg (Printf.sprintf "unknown MSO query %S (even|conn|3col|ham)" other))
+    with
+    | Error _ as e -> e
+    | Ok phi ->
+        Format.printf "%b@." (Fmtk_so.So_eval.sat ~budget s phi);
+        Ok ()
   in
   let query =
     Arg.(
@@ -364,23 +483,38 @@ let mso_cmd =
     Term.(
       const run
       $ structure_arg ~name:"STRUCTURE" ~doc:"Structure." 0
-      $ query)
+      $ query $ budget_term)
 
 let ifp_cmd =
-  let run s query =
+  let run s query budget =
+    exec @@ fun () ->
     let module Fp = Fmtk_fixpoint.Fp_formula in
     let module Fp_eval = Fmtk_fixpoint.Fp_eval in
     let stats = Fp_eval.new_stats () in
-    (match query with
-    | "tc" ->
-        let tuples = Fp_eval.answers ~stats s Fp.transitive_closure ~vars:[ "u"; "v" ] in
-        Format.printf "tc: %d pairs@." (Tuple.Set.cardinal tuples);
-        Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) tuples
-    | "conn" -> Format.printf "%b@." (Fp_eval.sat ~stats s Fp.connectivity)
-    | "even" -> Format.printf "%b@." (Fp_eval.sat ~stats s Fp.even_on_orders)
-    | other -> failwith (Printf.sprintf "unknown IFP query %S (tc|conn|even)" other));
-    Format.printf "(%d fixpoint stages, %d tuples tested)@." stats.Fp_eval.stages
-      stats.Fp_eval.tuples_tested
+    match
+      match query with
+      | "tc" ->
+          let tuples =
+            Fp_eval.answers ~stats ~budget s Fp.transitive_closure
+              ~vars:[ "u"; "v" ]
+          in
+          Format.printf "tc: %d pairs@." (Tuple.Set.cardinal tuples);
+          Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) tuples;
+          Ok ()
+      | "conn" ->
+          Format.printf "%b@." (Fp_eval.sat ~stats ~budget s Fp.connectivity);
+          Ok ()
+      | "even" ->
+          Format.printf "%b@." (Fp_eval.sat ~stats ~budget s Fp.even_on_orders);
+          Ok ()
+      | other ->
+          Error (`Msg (Printf.sprintf "unknown IFP query %S (tc|conn|even)" other))
+    with
+    | Error _ as e -> e
+    | Ok () ->
+        Format.printf "(%d fixpoint stages, %d tuples tested)@."
+          stats.Fp_eval.stages stats.Fp_eval.tuples_tested;
+        Ok ()
   in
   let query =
     Arg.(
@@ -392,11 +526,22 @@ let ifp_cmd =
     Term.(
       const run
       $ structure_arg ~name:"STRUCTURE" ~doc:"Structure." 0
-      $ query)
+      $ query $ budget_term)
 
 let main =
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1 ~doc:"on usage or input errors.";
+      Cmd.Exit.info 2
+        ~doc:
+          "when a resource budget ($(b,--timeout), $(b,--fuel)) was \
+           exhausted before an answer.";
+      Cmd.Exit.info 3 ~doc:"on internal errors (FMTK_DEBUG=1 for a backtrace).";
+    ]
+  in
   let info =
-    Cmd.info "fmtk" ~version:"1.0.0"
+    Cmd.info "fmtk" ~version:"1.0.0" ~exits
       ~doc:"The finite model theory toolbox of a database theoretician"
   in
   Cmd.group info
@@ -415,4 +560,11 @@ let main =
       ifp_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  if debug_enabled () then Printexc.record_backtrace true;
+  exit
+    (match Cmd.eval_value main with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> 1
+    | Error `Exn -> 3)

@@ -1,9 +1,11 @@
 module Structure = Fmtk_structure.Structure
+module Iso = Fmtk_structure.Iso
 module Formula = Fmtk_logic.Formula
+module Budget = Fmtk_runtime.Budget
 module Ef = Fmtk_games.Ef
 module Distinguish = Fmtk_games.Distinguish
 
-let by_rank ~rank ts =
+let by_rank ?config ?budget ~rank ts =
   let ts = Array.of_list ts in
   let n = Array.length ts in
   let classes = Array.make n (-1) in
@@ -14,7 +16,7 @@ let by_rank ~rank ts =
     (fun i t ->
       let found =
         List.find_opt
-          (fun (_, rep) -> Ef.equiv ~rank t ts.(rep))
+          (fun (_, rep) -> Ef.equiv ?config ?budget ~rank t ts.(rep))
           (List.mapi (fun c rep -> (c, rep)) (List.rev !reps))
       in
       match found with
@@ -25,16 +27,47 @@ let by_rank ~rank ts =
     ts;
   classes
 
-let separators ~rank ts =
+type partition = {
+  classes : int array;
+  exact : bool;
+  gave_up : Budget.reason option;
+}
+
+let by_invariant ts =
+  let ts = Array.of_list ts in
+  let keys = Array.map Iso.invariant_key ts in
+  let seen = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun k ->
+      match Hashtbl.find_opt seen k with
+      | Some c -> c
+      | None ->
+          let c = !next in
+          incr next;
+          Hashtbl.add seen k c;
+          c)
+    keys
+
+let by_rank_budgeted ?config ?(budget = Budget.unlimited) ~rank ts =
+  match by_rank ?config ~budget ~rank ts with
+  | classes -> { classes; exact = true; gave_up = None }
+  | exception Budget.Exhausted r ->
+      (* Degrade to the 1-WL invariant-key partition: distinct keys
+         soundly certify non-isomorphism (hence distinguishability at
+         some rank); equal keys are only heuristic evidence. *)
+      { classes = by_invariant ts; exact = false; gave_up = Some r }
+
+let separators ?budget ~rank ts =
   let arr = Array.of_list ts in
-  let classes = by_rank ~rank ts in
+  let classes = by_rank ?budget ~rank ts in
   let out = ref [] in
   Array.iteri
     (fun i _ ->
       Array.iteri
         (fun j _ ->
           if i < j && classes.(i) <> classes.(j) then
-            match Distinguish.sentence ~rounds:rank arr.(i) arr.(j) with
+            match Distinguish.sentence ?budget ~rounds:rank arr.(i) arr.(j) with
             | Some phi -> out := (i, j, phi) :: !out
             | None ->
                 (* by_rank said they differ; extraction must succeed *)

@@ -11,11 +11,39 @@ module Formula = Fmtk_logic.Formula
 
 (** [by_rank ~rank ts] assigns each structure a class id (0-based, in
     first-representative order): equal ids iff ≡rank. Uses the exact EF
-    solver — keep structures small. *)
-val by_rank : rank:int -> Structure.t list -> int array
+    solver — keep structures small.
+    @raise Fmtk_runtime.Budget.Exhausted when the (default unlimited)
+    [budget] runs out; use {!by_rank_budgeted} for graceful
+    degradation. *)
+val by_rank :
+  ?config:Fmtk_games.Ef.config ->
+  ?budget:Fmtk_runtime.Budget.t ->
+  rank:int -> Structure.t list -> int array
+
+(** Result of a budgeted classification. [exact = true]: [classes] is
+    the genuine ≡rank partition. [exact = false] (budget ran out, reason
+    in [gave_up]): [classes] is the fallback partition by the 1-WL
+    isomorphism invariant {!Fmtk_structure.Iso.invariant_key} — distinct
+    ids soundly certify non-isomorphic structures (distinguishable at
+    {e some} rank), while equal ids are only heuristic evidence of
+    equivalence. *)
+type partition = {
+  classes : int array;
+  exact : bool;
+  gave_up : Fmtk_runtime.Budget.reason option;
+}
+
+(** Budgeted {!by_rank} that degrades to the invariant-key partition
+    instead of raising. Never raises [Budget.Exhausted]. *)
+val by_rank_budgeted :
+  ?config:Fmtk_games.Ef.config ->
+  ?budget:Fmtk_runtime.Budget.t ->
+  rank:int -> Structure.t list -> partition
 
 (** [separators ~rank ts] — for each pair of structures in distinct
     classes, a sentence of quantifier rank ≤ rank true on the first and
-    false on the second (from {!Fmtk_games.Distinguish}). *)
+    false on the second (from {!Fmtk_games.Distinguish}).
+    @raise Fmtk_runtime.Budget.Exhausted when [budget] runs out. *)
 val separators :
+  ?budget:Fmtk_runtime.Budget.t ->
   rank:int -> Structure.t list -> (int * int * Formula.t) list

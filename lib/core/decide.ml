@@ -1,0 +1,95 @@
+module Structure = Fmtk_structure.Structure
+module Iso = Fmtk_structure.Iso
+module Budget = Fmtk_runtime.Budget
+module Formula = Fmtk_logic.Formula
+module Ef = Fmtk_games.Ef
+module Distinguish = Fmtk_games.Distinguish
+module Gaifman = Fmtk_locality.Gaifman
+module Hanf = Fmtk_locality.Hanf
+
+type method_ = Exact_game | Degree_sequence | Wl_refinement | Hanf_locality
+
+let method_to_string = function
+  | Exact_game -> "exact-game"
+  | Degree_sequence -> "degree-sequence"
+  | Wl_refinement -> "wl-refinement"
+  | Hanf_locality -> "hanf-locality"
+
+type verdict =
+  | Equivalent
+  | Distinguished of Formula.t option
+  | Distinguishable
+  | Gave_up of Budget.reason
+
+type outcome = {
+  verdict : verdict;
+  answered_by : method_ option;
+  positions : int;
+}
+
+(* Sorted multiset of Gaifman degrees. Degree-k-element counts are
+   FO-expressible, so a mismatch is a sound distinguishability witness. *)
+let degree_multiset t =
+  Gaifman.adjacency t |> Array.map List.length |> Array.to_list
+  |> List.sort Int.compare
+
+(* Joint 1-WL colour censuses. Colours are computed jointly, so ids are
+   comparable across the two structures; a census mismatch means some
+   counting-of-colour-class property separates them, and those are
+   FO-expressible on finite structures. *)
+let wl_census_mismatch a b =
+  let ca, cb = Iso.wl_colors a b in
+  let sorted arr = List.sort Int.compare (Array.to_list arr) in
+  sorted ca <> sorted cb
+
+(* Hanf locality is only a cheap certificate while radius-[r] balls stay
+   genuinely local: once a ball can cover the whole structure the census
+   computation degenerates into whole-structure isomorphism tests. *)
+let hanf_radius ~rank a b =
+  if Structure.size a <> Structure.size b then None
+  else
+    let r = Hanf.fo_radius ~rank in
+    if r > 8 then None
+    else
+      let d = max (Gaifman.degree a) (Gaifman.degree b) in
+      if d <= 1 then Some r
+      else if Hanf.max_ball_size ~degree:d ~radius:r < Structure.size a then
+        Some r
+      else None
+
+let equiv ?config ?(budget = Budget.unlimited) ?(extract = false) ~rank a b =
+  match Ef.solve_verdict ?config ~budget ~rounds:rank a b with
+  | Ef.Equivalent, (st : Ef.stats) ->
+      {
+        verdict = Equivalent;
+        answered_by = Some Exact_game;
+        positions = st.positions;
+      }
+  | Ef.Distinguished, st ->
+      let sentence =
+        if extract then
+          try Distinguish.sentence ~budget ~rounds:rank a b
+          with Budget.Exhausted _ -> None
+        else None
+      in
+      {
+        verdict = Distinguished sentence;
+        answered_by = Some Exact_game;
+        positions = st.positions;
+      }
+  | Ef.Gave_up r, st ->
+      let answered verdict m =
+        { verdict; answered_by = Some m; positions = st.positions }
+      in
+      if degree_multiset a <> degree_multiset b then
+        answered Distinguishable Degree_sequence
+      else if wl_census_mismatch a b then
+        answered Distinguishable Wl_refinement
+      else begin
+        match hanf_radius ~rank a b with
+        | Some radius ->
+            if Hanf.equiv ~radius a b then answered Equivalent Hanf_locality
+            else answered Distinguishable Hanf_locality
+        | None ->
+            { verdict = Gave_up r; answered_by = None; positions = st.positions }
+      end

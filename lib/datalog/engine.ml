@@ -1,6 +1,7 @@
 module Tuple = Fmtk_structure.Tuple
 module Structure = Fmtk_structure.Structure
 module Signature = Fmtk_logic.Signature
+module Budget = Fmtk_runtime.Budget
 module SMap = Map.Make (String)
 
 module Db = struct
@@ -72,7 +73,8 @@ let ordered_body (r : Ast.rule) =
    designated positive occurrence forced to range over [delta_lookup]
    instead (for semi-naive); [delta_slot = -1] means no substitution.
    Returns derived head tuples, accumulating join work in [work]. *)
-let eval_rule ~work ~lookup ?(delta_slot = -1) ?delta_lookup (r : Ast.rule) =
+let eval_rule ~work ~poller ~lookup ?(delta_slot = -1) ?delta_lookup
+    (r : Ast.rule) =
   let body = ordered_body r in
   let derived = ref Tuple.Set.empty in
   let rec go env slot = function
@@ -84,12 +86,16 @@ let eval_rule ~work ~lookup ?(delta_slot = -1) ?delta_lookup (r : Ast.rule) =
         in
         Tuple.Set.iter
           (fun tup ->
+            (* One budget check per unit of join work: the poll-interval
+               counter amortizes it to a decrement on the hot path. *)
+            Budget.check poller;
             incr work;
             match match_atom env a tup with
             | Some env' -> go env' (slot + 1) rest
             | None -> ())
           source
     | Ast.Neg a :: rest ->
+        Budget.check poller;
         incr work;
         if not (Tuple.Set.mem (ground_atom env a) (lookup a.pred)) then
           go env slot rest
@@ -128,9 +134,10 @@ let positive_idb_slots stratum_preds (r : Ast.rule) =
   in
   go 0 (ordered_body r)
 
-let naive program db =
+let naive ?(budget = Budget.unlimited) program db =
   validate program;
   let strata = stratified program in
+  let poller = Budget.poller budget in
   let work = ref 0 in
   let iterations = ref 0 in
   let final =
@@ -142,7 +149,7 @@ let naive program db =
             List.fold_left
               (fun acc r ->
                 Db.add r.Ast.head.Ast.pred
-                  (eval_rule ~work ~lookup:(Db.find db) r)
+                  (eval_rule ~work ~poller ~lookup:(Db.find db) r)
                   acc)
               Db.empty stratum
           in
@@ -165,9 +172,10 @@ let naive program db =
   in
   (final, { iterations = !iterations; join_work = !work })
 
-let seminaive program db =
+let seminaive ?(budget = Budget.unlimited) program db =
   validate program;
   let strata = stratified program in
+  let poller = Budget.poller budget in
   let work = ref 0 in
   let iterations = ref 0 in
   let final =
@@ -180,7 +188,7 @@ let seminaive program db =
           List.fold_left
             (fun acc r ->
               Db.add r.Ast.head.Ast.pred
-                (eval_rule ~work ~lookup:(Db.find db) r)
+                (eval_rule ~work ~poller ~lookup:(Db.find db) r)
                 acc)
             Db.empty stratum
         in
@@ -205,8 +213,8 @@ let seminaive program db =
                   List.fold_left
                     (fun acc slot ->
                       Db.add r.Ast.head.Ast.pred
-                        (eval_rule ~work ~lookup:(Db.find db) ~delta_slot:slot
-                           ~delta_lookup:(Db.find delta) r)
+                        (eval_rule ~work ~poller ~lookup:(Db.find db)
+                           ~delta_slot:slot ~delta_lookup:(Db.find delta) r)
                         acc)
                     acc slots)
                 Db.empty stratum
@@ -236,11 +244,11 @@ let seminaive program db =
   in
   (final, { iterations = !iterations; join_work = !work })
 
-let run ?(strategy = `Seminaive) program s ~pred =
+let run ?(strategy = `Seminaive) ?budget program s ~pred =
   let db = Db.of_structure s in
   let result, _ =
     match strategy with
-    | `Naive -> naive program db
-    | `Seminaive -> seminaive program db
+    | `Naive -> naive ?budget program db
+    | `Seminaive -> seminaive ?budget program db
   in
   Db.find result pred

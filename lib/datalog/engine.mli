@@ -30,16 +30,22 @@ type stats = { iterations : int; join_work : int }
 
 (** [naive program db] — the minimal model (IDB ∪ EDB) plus stats.
     @raise Invalid_argument if a rule is not range-restricted or the
-    program is not stratifiable. *)
-val naive : Ast.program -> Db.t -> Db.t * stats
+    program is not stratifiable.
+    @raise Fmtk_runtime.Budget.Exhausted when the (default unlimited)
+    [budget] runs out — polled once per unit of join work, amortized
+    through the budget's poll-interval counter. *)
+val naive :
+  ?budget:Fmtk_runtime.Budget.t -> Ast.program -> Db.t -> Db.t * stats
 
 (** Semi-naive (differential) evaluation; same result, less join work. *)
-val seminaive : Ast.program -> Db.t -> Db.t * stats
+val seminaive :
+  ?budget:Fmtk_runtime.Budget.t -> Ast.program -> Db.t -> Db.t * stats
 
 (** Convenience: run a program against a structure and read one predicate
     off the result ([strategy] defaults to semi-naive). *)
 val run :
   ?strategy:[ `Naive | `Seminaive ] ->
+  ?budget:Fmtk_runtime.Budget.t ->
   Ast.program ->
   Structure.t ->
   pred:string ->

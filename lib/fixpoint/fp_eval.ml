@@ -1,6 +1,7 @@
 module Structure = Fmtk_structure.Structure
 module Term = Fmtk_logic.Term
 module Tuple = Fmtk_structure.Tuple
+module Budget = Fmtk_runtime.Budget
 
 type stats = { mutable stages : int; mutable tuples_tested : int }
 
@@ -22,7 +23,9 @@ type rel_env = (string * Tuple.Set.t) list
 
 type cache = (Fp_formula.t * (string * int) list, Tuple.Set.t) Hashtbl.t
 
-let holds_with_cache ~(cache : cache) ?stats s phi ~env =
+let holds_with_cache ~(cache : cache) ?stats ?(budget = Budget.unlimited) s
+    phi ~env =
+  let poller = Budget.poller budget in
   let bump_stage () =
     match stats with Some st -> st.stages <- st.stages + 1 | None -> ()
   in
@@ -33,6 +36,7 @@ let holds_with_cache ~(cache : cache) ?stats s phi ~env =
   in
   let n = Structure.size s in
   let rec go (fo_env : (string * int) list) (renv : rel_env) f =
+    Budget.check poller;
     match f with
     | Fp_formula.True -> true
     | Fp_formula.False -> false
@@ -96,6 +100,7 @@ let holds_with_cache ~(cache : cache) ?stats s phi ~env =
                 let additions =
                   List.filter
                     (fun tup ->
+                      Budget.check poller;
                       bump_tuple ();
                       (not (Tuple.Set.mem tup set))
                       &&
@@ -124,18 +129,18 @@ let holds_with_cache ~(cache : cache) ?stats s phi ~env =
 (* Fixpoint-set cache keys include the operator node and its outer free
    variables, so sharing one cache across calls on the same structure is
    sound; each public entry point creates its own. *)
-let holds ?stats s phi ~env =
-  holds_with_cache ~cache:(Hashtbl.create 8) ?stats s phi ~env
+let holds ?stats ?budget s phi ~env =
+  holds_with_cache ~cache:(Hashtbl.create 8) ?stats ?budget s phi ~env
 
-let sat ?stats s phi =
+let sat ?stats ?budget s phi =
   (match Fp_formula.free_vars phi with
   | [] -> ()
   | fv ->
       invalid_arg
         (Printf.sprintf "Fp_eval.sat: free variables %s" (String.concat ", " fv)));
-  holds ?stats s phi ~env:[]
+  holds ?stats ?budget s phi ~env:[]
 
-let answers ?stats s phi ~vars =
+let answers ?stats ?budget s phi ~vars =
   let fv = Fp_formula.free_vars phi in
   List.iter
     (fun x ->
@@ -150,7 +155,7 @@ let answers ?stats s phi ~vars =
   Seq.iter
     (fun tup ->
       let env = List.combine vars (Array.to_list tup) in
-      if holds_with_cache ~cache ?stats s phi ~env then
+      if holds_with_cache ~cache ?stats ?budget s phi ~env then
         acc := Tuple.Set.add tup !acc)
     (Tuple.all n k);
   !acc

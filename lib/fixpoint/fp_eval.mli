@@ -14,12 +14,19 @@ type stats = { mutable stages : int; mutable tuples_tested : int }
 val new_stats : unit -> stats
 
 (** [sat ?stats s phi] for FO(IFP) sentences.
-    @raise Invalid_argument on free variables or unknown relations. *)
-val sat : ?stats:stats -> Structure.t -> Fp_formula.t -> bool
+    @raise Invalid_argument on free variables or unknown relations.
+    @raise Fmtk_runtime.Budget.Exhausted when the (default unlimited)
+    [budget] runs out — polled at every formula node and every candidate
+    tuple of every fixpoint stage. *)
+val sat :
+  ?stats:stats ->
+  ?budget:Fmtk_runtime.Budget.t ->
+  Structure.t -> Fp_formula.t -> bool
 
 (** [holds ?stats s phi ~env] for open formulas. *)
 val holds :
   ?stats:stats ->
+  ?budget:Fmtk_runtime.Budget.t ->
   Structure.t ->
   Fp_formula.t ->
   env:(string * int) list ->
@@ -29,6 +36,7 @@ val holds :
     formula over the listed variables. *)
 val answers :
   ?stats:stats ->
+  ?budget:Fmtk_runtime.Budget.t ->
   Structure.t ->
   Fp_formula.t ->
   vars:string list ->

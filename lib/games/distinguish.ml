@@ -73,10 +73,12 @@ let dedupe fs =
   List.fold_left (fun acc f -> if List.mem f acc then acc else f :: acc) [] fs
   |> List.rev
 
-let formula ~rounds a b pairs =
+let formula ?(budget = Fmtk_runtime.Budget.unlimited) ~rounds a b pairs =
   if rounds < 0 then invalid_arg "Distinguish: negative round count";
+  let poller = Fmtk_runtime.Budget.poller budget in
   let dom_a = Structure.domain a and dom_b = Structure.domain b in
   let rec go n pairs =
+    Fmtk_runtime.Budget.check poller;
     match discrepant_literal a b pairs with
     | Some lit -> Some lit
     | None ->
@@ -115,4 +117,4 @@ let formula ~rounds a b pairs =
   in
   Option.map Transform.simplify (go rounds pairs)
 
-let sentence ~rounds a b = formula ~rounds a b []
+let sentence ?budget ~rounds a b = formula ?budget ~rounds a b []

@@ -11,8 +11,13 @@ module Formula = Fmtk_logic.Formula
 
 (** [sentence ~rounds a b] is a sentence [φ] with quantifier rank ≤
     [rounds] such that [A ⊨ φ] and [B ⊭ φ], or [None] if the duplicator
-    wins the [rounds]-round game (i.e. [A ≡rounds B]). *)
-val sentence : rounds:int -> Structure.t -> Structure.t -> Formula.t option
+    wins the [rounds]-round game (i.e. [A ≡rounds B]).
+    @raise Fmtk_runtime.Budget.Exhausted when the (default unlimited)
+    [budget] runs out — see {!Fmtk.Decide} for the graceful-degradation
+    wrapper that falls back to cheap certificates instead. *)
+val sentence :
+  ?budget:Fmtk_runtime.Budget.t ->
+  rounds:int -> Structure.t -> Structure.t -> Formula.t option
 
 (** [formula ~rounds a b pairs] generalizes {!sentence} to a start
     position: a formula [ψ(x1..xk)] of rank ≤ [rounds] with
@@ -21,6 +26,7 @@ val sentence : rounds:int -> Structure.t -> Structure.t -> Formula.t option
     well if [pairs] is not even a partial isomorphism — in that case rank 0
     already distinguishes; use [rounds = 0]. *)
 val formula :
+  ?budget:Fmtk_runtime.Budget.t ->
   rounds:int ->
   Structure.t ->
   Structure.t ->

@@ -1,6 +1,7 @@
 module Structure = Fmtk_structure.Structure
 module Iso = Fmtk_structure.Iso
 module Orbit = Fmtk_structure.Orbit
+module Budget = Fmtk_runtime.Budget
 module Tbl = Packed.Tbl
 
 type config = {
@@ -14,19 +15,20 @@ let default_config = { memo = true; parallel = true; workers = None; orbit = tru
 
 type stats = { positions : int; memo_hits : int; workers : int }
 
-(* Mirror of the last solve's position count for the deprecated accessor.
-   An [Atomic] so concurrent solves can't tear the write, but overlapping
-   solves still clobber each other — which is exactly why the accessor is
-   deprecated in favour of the per-call [stats]. *)
-let last_positions = Atomic.make 0
-let last_positions_explored () = Atomic.get last_positions
+type verdict = Equivalent | Distinguished | Gave_up of Budget.reason
 
 (* Sharded memo shared by all workers of one solve: key-hash -> shard,
    mutex-guarded table per shard. A sequential solve ([locked = false])
    uses one shard and skips the mutexes entirely — the lock-free fast
    path. The parallel path must lock reads as well: a [Hashtbl] resize
    concurrent with an unlocked [find_opt] is a data race in OCaml 5, so
-   "where safe" means single-worker. 64 shards keep contention low. *)
+   "where safe" means single-worker. 64 shards keep contention low.
+
+   A worker interrupted by [Budget.Exhausted] (or a fault injection)
+   between positions simply never writes the entry it was computing:
+   every stored value is the result of a completed subgame, so an
+   interrupted solve cannot poison a shard for the workers that
+   outlive it. *)
 module Memo = struct
   type shard = { lock : Mutex.t; tbl : bool Tbl.t }
   type t = { shards : shard array; mask : int; locked : bool }
@@ -77,14 +79,15 @@ let worker_count config ~rounds ~moves =
         if rounds < 2 || moves < 12 then 1
         else min (min 8 (Domain.recommended_domain_count ())) moves
 
-let solve ?(config = default_config) ?(start = []) ~rounds a b =
+(* Core solver: [Ok win] on a decided game, [Error reason] when the
+   budget ran out first. Stats are returned in both cases. *)
+let solve_result ~config ~budget ~start ~rounds a b =
   if rounds < 0 then invalid_arg "Ef: negative round count";
   let finish verdict ~positions ~memo_hits ~workers =
-    Atomic.set last_positions positions;
     (verdict, { positions; memo_hits; workers })
   in
   if not (Iso.partial_iso a b start) then
-    finish false ~positions:0 ~memo_hits:0 ~workers:1
+    finish (Ok false) ~positions:0 ~memo_hits:0 ~workers:1
   else begin
     let dom_a = Structure.domain a and dom_b = Structure.domain b in
     (* Candidate ordering heuristic: try duplicator replies whose WL colour
@@ -105,7 +108,7 @@ let solve ?(config = default_config) ?(start = []) ~rounds a b =
        to isomorphic subgames, so only one representative per orbit is
        explored. Shared across workers — the caches are mutex-guarded. *)
     let orbit_a, orbit_b =
-      if config.orbit then (Some (Orbit.make a), Some (Orbit.make b))
+      if config.orbit then (Some (Orbit.make ~budget a), Some (Orbit.make ~budget b))
       else (None, None)
     in
     let refine ot o pin =
@@ -120,11 +123,14 @@ let solve ?(config = default_config) ?(start = []) ~rounds a b =
       | None -> None
     in
     let oa0 = root_of orbit_a fst and ob0 = root_of orbit_b snd in
-    (* One searcher per worker: private counters; memo and orbit caches
-       are the shared state. *)
-    let searcher memo =
+    (* One searcher per worker: private counters and budget poller; memo
+       and orbit caches are the shared state. The budget is checked once
+       per [win] entry, so cancellation and deadlines take effect within
+       one poll interval of position visits. *)
+    let searcher memo poller =
       let explored = ref 0 and hits = ref 0 in
       let rec win n pairs packed oa ob =
+        Budget.check poller;
         if n = 0 then true
         else begin
           let key = Packed.key ~rounds:n packed in
@@ -142,7 +148,10 @@ let solve ?(config = default_config) ?(start = []) ~rounds a b =
                      (fun y -> answer_in n pairs packed oa ob true y)
                      (moves_of ob dom_b)
               in
-              if config.memo then Memo.add memo key v;
+              (* Memory cap: past it, stop storing (sound — we only lose
+                 sharing) rather than grow the table further. *)
+              if config.memo && Budget.memo_ok budget ~entries:!explored then
+                Memo.add memo key v;
               v
         end
       and answer_in n pairs packed oa ob other_first pick =
@@ -165,9 +174,11 @@ let solve ?(config = default_config) ?(start = []) ~rounds a b =
     in
     let sequential () =
       let memo = Memo.create ~locked:false in
-      let win, _, explored, hits = searcher memo in
-      let v = win rounds start packed_start oa0 ob0 in
-      finish v ~positions:!explored ~memo_hits:!hits ~workers:1
+      let win, _, explored, hits = searcher memo (Budget.poller budget) in
+      match win rounds start packed_start oa0 ob0 with
+      | v -> finish (Ok v) ~positions:!explored ~memo_hits:!hits ~workers:1
+      | exception Budget.Exhausted r ->
+          finish (Error r) ~positions:!explored ~memo_hits:!hits ~workers:1
     in
     let root_moves =
       List.map (fun x -> (false, x)) (moves_of oa0 dom_a)
@@ -181,45 +192,91 @@ let solve ?(config = default_config) ?(start = []) ~rounds a b =
          ends up holding all the hard subtrees the way static chunking
          did. The memo is shared, so workers extend — not repeat — each
          other's searches. Indexes are forced first so the probes workers
-         make through [Iso.extension_ok] never write shared state. *)
+         make through [Iso.extension_ok] never write shared state.
+
+         Failure discipline: a worker never lets an exception escape into
+         [Domain.join]. The first failure (budget exhaustion or a real
+         fault) is parked in [failure] and [stop] makes every other
+         worker bail out at its next poll or root-claim; the coordinator
+         joins ALL domains before acting on it, so no domain is ever
+         leaked, and counters are flushed on the way out so stats survive
+         a [Gave_up]. *)
       Structure.ensure_indexes a;
       Structure.ensure_indexes b;
       let memo = Memo.create ~locked:true in
       let moves = Array.of_list root_moves in
       let next = Atomic.make 0 in
       let refuted = Atomic.make false in
+      let stop = Atomic.make false in
+      let failure = Atomic.make None in
       let positions = Atomic.make 1 (* the root position itself *) in
       let hits_total = Atomic.make 0 in
-      let worker () =
-        let _, answer_in, explored, hits = searcher memo in
-        let rec loop () =
-          if not (Atomic.get refuted) then begin
-            let i = Atomic.fetch_and_add next 1 in
-            if i < Array.length moves then begin
-              let other_first, pick = moves.(i) in
-              if
-                not (answer_in rounds start packed_start oa0 ob0 other_first pick)
-              then Atomic.set refuted true;
-              loop ()
-            end
-          end
+      let worker ~spawned () =
+        let poller =
+          if spawned then Budget.worker_poller budget else Budget.poller budget
         in
-        loop ();
+        let _, answer_in, explored, hits = searcher memo poller in
+        (try
+           let rec loop () =
+             if not (Atomic.get refuted) && not (Atomic.get stop) then begin
+               let i = Atomic.fetch_and_add next 1 in
+               if i < Array.length moves then begin
+                 let other_first, pick = moves.(i) in
+                 if
+                   not
+                     (answer_in rounds start packed_start oa0 ob0 other_first
+                        pick)
+                 then Atomic.set refuted true;
+                 loop ()
+               end
+             end
+           in
+           loop ()
+         with e ->
+           ignore (Atomic.compare_and_set failure None (Some e));
+           Atomic.set stop true);
         ignore (Atomic.fetch_and_add positions !explored);
         ignore (Atomic.fetch_and_add hits_total !hits)
       in
-      let spawned = Array.init (w - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      Array.iter Domain.join spawned;
-      finish
-        (not (Atomic.get refuted))
-        ~positions:(Atomic.get positions)
-        ~memo_hits:(Atomic.get hits_total) ~workers:w
+      let domains =
+        Array.init (w - 1) (fun _ -> Domain.spawn (worker ~spawned:true))
+      in
+      worker ~spawned:false ();
+      Array.iter Domain.join domains;
+      let positions = Atomic.get positions
+      and memo_hits = Atomic.get hits_total in
+      match Atomic.get failure with
+      | Some (Budget.Exhausted r) ->
+          finish (Error r) ~positions ~memo_hits ~workers:w
+      | Some e -> raise e
+      | None ->
+          finish (Ok (not (Atomic.get refuted))) ~positions ~memo_hits
+            ~workers:w
     end
   end
 
-let duplicator_wins_from ?config ~rounds a b start =
-  fst (solve ?config ~start ~rounds a b)
+let solve ?(config = default_config) ?(budget = Budget.unlimited)
+    ?(start = []) ~rounds a b =
+  match solve_result ~config ~budget ~start ~rounds a b with
+  | Ok v, stats -> (v, stats)
+  | Error r, _ -> raise (Budget.Exhausted r)
 
-let duplicator_wins ?config ~rounds a b = fst (solve ?config ~rounds a b)
-let equiv ?config ~rank a b = duplicator_wins ?config ~rounds:rank a b
+let solve_verdict ?(config = default_config) ?(budget = Budget.unlimited)
+    ?(start = []) ~rounds a b =
+  match solve_result ~config ~budget ~start ~rounds a b with
+  | Ok true, stats -> (Equivalent, stats)
+  | Ok false, stats -> (Distinguished, stats)
+  | Error r, stats -> (Gave_up r, stats)
+  (* The orbit oracles are built before the search proper and share the
+     budget, so exhaustion can also surface here. *)
+  | exception Budget.Exhausted r ->
+      (Gave_up r, { positions = 0; memo_hits = 0; workers = 1 })
+
+let duplicator_wins_from ?config ?budget ~rounds a b start =
+  fst (solve ?config ?budget ~start ~rounds a b)
+
+let duplicator_wins ?config ?budget ~rounds a b =
+  fst (solve ?config ?budget ~rounds a b)
+
+let equiv ?config ?budget ~rank a b =
+  duplicator_wins ?config ?budget ~rounds:rank a b

@@ -10,9 +10,14 @@
     The solver below decides winning exactly (complete back-and-forth
     search) and is exponential in [n] — use it for the small instances
     where the paper's proofs need certification, and the closed-form
-    strategies of {!Strategy} for unbounded parameters. *)
+    strategies of {!Strategy} for unbounded parameters. Pass a
+    {!Fmtk_runtime.Budget.t} to bound the search: the solver polls it
+    once per visited position (amortized — see the budget docs), so
+    deadlines, fuel limits and cross-domain cancellation all take effect
+    within one poll interval. *)
 
 module Structure = Fmtk_structure.Structure
+module Budget = Fmtk_runtime.Budget
 
 (** Solver configuration. [memo] (default true) caches game positions,
     keyed by round count + the played pairs packed into a flat int array
@@ -43,36 +48,69 @@ type config = {
 
 val default_config : config
 
-(** Counters of one solve. [positions] is the number of distinct game
-    positions expanded (memo misses); [memo_hits] the number of searches
-    answered from the memo; [workers] the domains actually used. In
-    parallel runs the counters are aggregated atomically across workers;
-    position counts can vary slightly run to run because workers race to
-    expand the same position. *)
+(** Counters of one solve, returned on decided AND on [Gave_up] runs.
+    [positions] is the number of distinct game positions expanded (memo
+    misses); [memo_hits] the number of searches answered from the memo;
+    [workers] the domains actually used. In parallel runs the counters
+    are aggregated atomically across workers; position counts can vary
+    slightly run to run because workers race to expand the same
+    position. *)
 type stats = { positions : int; memo_hits : int; workers : int }
 
-(** [solve ?config ?start ~rounds a b] decides the [rounds]-round game
-    starting from the (default empty) position [start] and returns the
-    verdict together with the solve's {!stats}. Returns [false] if
-    [start] is not a partial isomorphism. *)
+(** Three-valued outcome of a budgeted solve. [Gave_up r] means the
+    budget ran out for reason [r] before the game was decided — never a
+    wrong answer, only an absent one. *)
+type verdict = Equivalent | Distinguished | Gave_up of Budget.reason
+
+(** [solve ?config ?budget ?start ~rounds a b] decides the
+    [rounds]-round game starting from the (default empty) position
+    [start] and returns the verdict together with the solve's {!stats}.
+    Returns [false] if [start] is not a partial isomorphism.
+
+    @raise Budget.Exhausted when the (default unlimited) budget runs out
+    before the game is decided. The parallel path joins every spawned
+    domain before re-raising, so no domain is leaked and the shared memo
+    holds only completed (hence correct) entries. Use {!solve_verdict}
+    for an exception-free interface. *)
 val solve :
   ?config:config ->
+  ?budget:Budget.t ->
   ?start:(int * int) list ->
   rounds:int ->
   Structure.t ->
   Structure.t ->
   bool * stats
 
+(** Exception-free variant of {!solve}: budget exhaustion becomes
+    [Gave_up] and the stats record still reports the positions explored
+    before the search stopped. *)
+val solve_verdict :
+  ?config:config ->
+  ?budget:Budget.t ->
+  ?start:(int * int) list ->
+  rounds:int ->
+  Structure.t ->
+  Structure.t ->
+  verdict * stats
+
 (** [duplicator_wins ?config ~rounds a b] decides whether the duplicator
     has a winning strategy in the [rounds]-round EF game on [(a, b)],
-    starting from the empty position (constants act as pre-played pebbles). *)
-val duplicator_wins : ?config:config -> rounds:int -> Structure.t -> Structure.t -> bool
+    starting from the empty position (constants act as pre-played pebbles).
+    @raise Budget.Exhausted when [budget] runs out. *)
+val duplicator_wins :
+  ?config:config ->
+  ?budget:Budget.t ->
+  rounds:int ->
+  Structure.t ->
+  Structure.t ->
+  bool
 
 (** Like {!duplicator_wins} but starting from a given position
     [(a_i, b_i) …] of already-played pebble pairs. Returns [false] if the
     starting position is not a partial isomorphism. *)
 val duplicator_wins_from :
   ?config:config ->
+  ?budget:Budget.t ->
   rounds:int ->
   Structure.t ->
   Structure.t ->
@@ -80,10 +118,10 @@ val duplicator_wins_from :
   bool
 
 (** [equiv ~rank a b] = [A ≡rank B]: duplicator wins the [rank]-round game. *)
-val equiv : ?config:config -> rank:int -> Structure.t -> Structure.t -> bool
-
-(** Number of positions explored by the last completed call, whichever
-    call that was: concurrent or overlapping solves clobber each other.
-    Use the {!stats} returned by {!solve} instead. *)
-val last_positions_explored : unit -> int
-[@@ocaml.deprecated "use the stats returned by Ef.solve"]
+val equiv :
+  ?config:config ->
+  ?budget:Budget.t ->
+  rank:int ->
+  Structure.t ->
+  Structure.t ->
+  bool

@@ -1,13 +1,16 @@
 module Structure = Fmtk_structure.Structure
 module Iso = Fmtk_structure.Iso
 module Orbit = Fmtk_structure.Orbit
+module Budget = Fmtk_runtime.Budget
 module Tbl = Packed.Tbl
 
 type config = { memo : bool; orbit : bool }
 
 let default_config = { memo = true; orbit = true }
 
-let duplicator_wins ?(config = default_config) ~pebbles ~rounds a b =
+let duplicator_wins ?(config = default_config) ?(budget = Budget.unlimited)
+    ~pebbles ~rounds a b =
+  let poller = Budget.poller budget in
   if pebbles <= 0 then invalid_arg "Pebble: need at least one pebble";
   if rounds < 0 then invalid_arg "Pebble: negative round count";
   if not (Iso.partial_iso a b []) then false
@@ -29,7 +32,7 @@ let duplicator_wins ?(config = default_config) ~pebbles ~rounds a b =
        orbits are therefore looked up per base position (cached in the
        oracle). *)
     let orbit_a, orbit_b =
-      if config.orbit then (Some (Orbit.make a), Some (Orbit.make b))
+      if config.orbit then (Some (Orbit.make ~budget a), Some (Orbit.make ~budget b))
       else (None, None)
     in
     let moves_of ot pinned dom =
@@ -40,7 +43,9 @@ let duplicator_wins ?(config = default_config) ~pebbles ~rounds a b =
     (* Positions are sorted packed pair arrays (set semantics: re-pebbling
        an occupied pair collapses); memo keys prepend the round count. *)
     let memo : bool Tbl.t = Tbl.create 256 in
+    let entries = ref 0 in
     let rec win n packed =
+      Budget.check poller;
       if n = 0 then true
       else begin
         let key = Packed.key ~rounds:n packed in
@@ -85,12 +90,15 @@ let duplicator_wins ?(config = default_config) ~pebbles ~rounds a b =
               && List.for_all (answer false) (moves_of orbit_b pinned_b dom_b)
             in
             let v = List.for_all survives bases in
-            if config.memo then Tbl.replace memo key v;
+            if config.memo && Budget.memo_ok budget ~entries:!entries then begin
+              incr entries;
+              Tbl.replace memo key v
+            end;
             v
       end
     in
     win rounds [||]
   end
 
-let equiv_fo_k ?config ~k ~rank a b =
-  duplicator_wins ?config ~pebbles:k ~rounds:rank a b
+let equiv_fo_k ?config ?budget ~k ~rank a b =
+  duplicator_wins ?config ?budget ~pebbles:k ~rounds:rank a b

@@ -10,6 +10,7 @@
     ≤ rounds. *)
 
 module Structure = Fmtk_structure.Structure
+module Budget = Fmtk_runtime.Budget
 
 (** [memo] (default true): cache positions under packed int-array keys
     (round count + sorted packed pairs — the same representation as
@@ -23,13 +24,17 @@ type config = { memo : bool; orbit : bool }
 val default_config : config
 
 (** [duplicator_wins ~pebbles ~rounds a b] decides the game exactly
-    (memoized search; exponential in [rounds], use on small instances). *)
+    (memoized search; exponential in [rounds], use on small instances).
+    @raise Budget.Exhausted when the (default unlimited) [budget] runs
+    out before the game is decided. *)
 val duplicator_wins :
   ?config:config ->
+  ?budget:Budget.t ->
   pebbles:int -> rounds:int -> Structure.t -> Structure.t -> bool
 
 (** [equiv_fo_k ~k ~rank a b]: agreement on FO^k up to quantifier rank
     [rank] — [duplicator_wins ~pebbles:k ~rounds:rank]. *)
 val equiv_fo_k :
   ?config:config ->
+  ?budget:Budget.t ->
   k:int -> rank:int -> Structure.t -> Structure.t -> bool

@@ -1,11 +1,14 @@
 module Structure = Fmtk_structure.Structure
 module Iso = Fmtk_structure.Iso
 module Orbit = Fmtk_structure.Orbit
+module Budget = Fmtk_runtime.Budget
 
 type side = Left | Right
 type t = rounds_left:int -> (int * int) list -> side -> int -> int
 
-let verify ?(symmetry = false) ~rounds a b strategy =
+let verify ?(symmetry = false) ?(budget = Budget.unlimited) ~rounds a b
+    strategy =
+  let poller = Budget.poller budget in
   if not (Iso.partial_iso a b []) then Some []
   else
     let dom_a = Structure.domain a and dom_b = Structure.domain b in
@@ -14,7 +17,7 @@ let verify ?(symmetry = false) ~rounds a b strategy =
        orbit representatives are played (see the mli for what a [None]
        certifies in that mode). *)
     let orbit_a, orbit_b =
-      if symmetry then (Some (Orbit.make a), Some (Orbit.make b))
+      if symmetry then (Some (Orbit.make ~budget a), Some (Orbit.make ~budget b))
       else (None, None)
     in
     let moves_of ot o dom =
@@ -40,6 +43,7 @@ let verify ?(symmetry = false) ~rounds a b strategy =
         in
         List.find_map
           (fun (side, e) ->
+            Budget.check poller;
             let losing = Some (List.rev ((side, e) :: trace)) in
             match strategy ~rounds_left:(r - 1) pairs side e with
             | exception _ -> losing

@@ -10,6 +10,7 @@
     is the ground truth used in tests and experiment E5. *)
 
 module Structure = Fmtk_structure.Structure
+module Budget = Fmtk_runtime.Budget
 
 (** Which structure the spoiler played in. *)
 type side = Left | Right
@@ -37,9 +38,13 @@ type t = rounds_left:int -> (int * int) list -> side -> int -> int
     representative line proves the duplicator wins the game — though
     [strategy] itself is only guaranteed on the representative lines (off
     them, the winning replies are the automorphic transports). Rigid
-    structures make the pruning a no-op at negligible cost. *)
+    structures make the pruning a no-op at negligible cost.
+
+    @raise Budget.Exhausted when the (default unlimited) [budget] runs
+    out before every spoiler line has been played. *)
 val verify :
   ?symmetry:bool ->
+  ?budget:Budget.t ->
   rounds:int -> Structure.t -> Structure.t -> t -> (side * int) list option
 
 (** [verify_sampled ~rng ~lines ~rounds a b strategy] plays [lines]

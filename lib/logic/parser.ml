@@ -17,67 +17,102 @@ type token =
 
 exception Error of string
 
-let fail pos msg = raise (Error (Printf.sprintf "at %d: %s" pos msg))
+(* 1-based line/column of a byte offset, for error messages. *)
+let line_col src off =
+  let off = min off (String.length src) in
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to off - 1 do
+    if src.[i] = '\n' then (incr line; col := 1) else incr col
+  done;
+  (!line, !col)
+
+let fail_at src off msg =
+  let line, col = line_col src off in
+  raise (Error (Printf.sprintf "line %d, column %d: %s" line col msg))
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 
+(* Tokens carry their byte offset so the parser can report positions. *)
 let lex s =
   let n = String.length s in
   let toks = ref [] in
-  let emit t = toks := t :: !toks in
+  let emit off t = toks := (t, off) :: !toks in
   let rec go i =
     if i >= n then ()
     else
       match s.[i] with
       | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
-      | '(' -> emit LPAREN; go (i + 1)
-      | ')' -> emit RPAREN; go (i + 1)
-      | ',' -> emit COMMA; go (i + 1)
-      | '.' -> emit DOT; go (i + 1)
-      | '=' -> emit EQ; go (i + 1)
-      | '&' -> emit AMP; go (i + 1)
-      | '|' -> emit BAR; go (i + 1)
-      | '~' -> emit BANG; go (i + 1)
+      | '(' -> emit i LPAREN; go (i + 1)
+      | ')' -> emit i RPAREN; go (i + 1)
+      | ',' -> emit i COMMA; go (i + 1)
+      | '.' -> emit i DOT; go (i + 1)
+      | '=' -> emit i EQ; go (i + 1)
+      | '&' -> emit i AMP; go (i + 1)
+      | '|' -> emit i BAR; go (i + 1)
+      | '~' -> emit i BANG; go (i + 1)
       | '!' ->
-          if i + 1 < n && s.[i + 1] = '=' then (emit NEQ; go (i + 2))
-          else (emit BANG; go (i + 1))
+          if i + 1 < n && s.[i + 1] = '=' then (emit i NEQ; go (i + 2))
+          else (emit i BANG; go (i + 1))
       | '<' ->
           if i + 2 < n && s.[i + 1] = '-' && s.[i + 2] = '>' then
-            (emit DARROW; go (i + 3))
-          else (emit LT; go (i + 1))
+            (emit i DARROW; go (i + 3))
+          else (emit i LT; go (i + 1))
       | '-' ->
-          if i + 1 < n && s.[i + 1] = '>' then (emit ARROW; go (i + 2))
-          else fail i "expected '->'"
+          if i + 1 < n && s.[i + 1] = '>' then (emit i ARROW; go (i + 2))
+          else fail_at s i "expected '->'"
       | '\'' ->
           let j = ref (i + 1) in
           while !j < n && is_ident_char s.[!j] do incr j done;
-          if !j = i + 1 then fail i "empty constant name after '";
-          emit (CONST (String.sub s (i + 1) (!j - i - 1)));
+          if !j = i + 1 then fail_at s i "empty constant name after '";
+          emit i (CONST (String.sub s (i + 1) (!j - i - 1)));
           go !j
       | ch when is_ident_start ch ->
           let j = ref i in
           while !j < n && is_ident_char s.[!j] do incr j done;
-          emit (IDENT (String.sub s i (!j - i)));
+          emit i (IDENT (String.sub s i (!j - i)));
           go !j
-      | ch -> fail i (Printf.sprintf "unexpected character %C" ch)
+      | ch -> fail_at s i (Printf.sprintf "unexpected character %C" ch)
   in
   go 0;
-  List.rev (EOF :: !toks)
+  List.rev ((EOF, n) :: !toks)
 
-(* Recursive-descent parser over a mutable token cursor. *)
-type state = { mutable toks : token list }
+(* Recursive-descent parser over a mutable token cursor. [depth] bounds
+   the recursion so adversarially nested input fails with a parse error
+   instead of a [Stack_overflow]. *)
+type state = {
+  src : string;
+  mutable toks : (token * int) list;
+  mutable depth : int;
+}
 
-let peek st = match st.toks with t :: _ -> t | [] -> EOF
+let max_depth = 2_000
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+
+let pos st =
+  match st.toks with (_, off) :: _ -> off | [] -> String.length st.src
 
 let advance st =
   match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
 
-let expect st t what =
-  if peek st = t then advance st
-  else raise (Error (Printf.sprintf "expected %s" what))
+let fail st msg = fail_at st.src (pos st) msg
 
-let rec parse_formula st = parse_iff st
+let expect st t what =
+  if peek st = t then advance st else fail st (Printf.sprintf "expected %s" what)
+
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then
+    fail st (Printf.sprintf "formula nested deeper than %d" max_depth)
+
+let leave st = st.depth <- st.depth - 1
+
+let rec parse_formula st =
+  enter st;
+  let f = parse_iff st in
+  leave st;
+  f
 
 and parse_iff st =
   let lhs = parse_imp st in
@@ -116,17 +151,22 @@ and parse_and st =
   loop lhs
 
 and parse_unary st =
-  match peek st with
-  | BANG ->
-      advance st;
-      Formula.Not (parse_unary st)
-  | IDENT "exists" ->
-      advance st;
-      parse_binders st (fun x f -> Formula.Exists (x, f))
-  | IDENT "forall" ->
-      advance st;
-      parse_binders st (fun x f -> Formula.Forall (x, f))
-  | _ -> parse_atom st
+  enter st;
+  let f =
+    match peek st with
+    | BANG ->
+        advance st;
+        Formula.Not (parse_unary st)
+    | IDENT "exists" ->
+        advance st;
+        parse_binders st (fun x f -> Formula.Exists (x, f))
+    | IDENT "forall" ->
+        advance st;
+        parse_binders st (fun x f -> Formula.Forall (x, f))
+    | _ -> parse_atom st
+  in
+  leave st;
+  f
 
 and parse_binders st mk =
   let rec vars acc =
@@ -137,10 +177,10 @@ and parse_binders st mk =
     | DOT ->
         advance st;
         List.rev acc
-    | _ -> raise (Error "expected variable or '.' in quantifier")
+    | _ -> fail st "expected variable or '.' in quantifier"
   in
   let xs = vars [] in
-  if xs = [] then raise (Error "quantifier binds no variables");
+  if xs = [] then fail st "quantifier binds no variables";
   let body = parse_unary_or_formula st in
   List.fold_right mk xs body
 
@@ -171,7 +211,7 @@ and parse_atom st =
   | CONST name ->
       advance st;
       parse_term_tail st (Term.Const name)
-  | _ -> raise (Error "expected atom")
+  | _ -> fail st "expected atom"
 
 and parse_term_tail st lhs =
   match peek st with
@@ -184,7 +224,7 @@ and parse_term_tail st lhs =
   | LT ->
       advance st;
       Formula.Rel ("lt", [ lhs; parse_term st ])
-  | _ -> raise (Error "expected '=', '!=' or '<' after term")
+  | _ -> fail st "expected '=', '!=' or '<' after term"
 
 and parse_term st =
   match peek st with
@@ -194,24 +234,35 @@ and parse_term st =
   | CONST c ->
       advance st;
       Term.Const c
-  | _ -> raise (Error "expected term")
+  | _ -> fail st "expected term"
 
 and parse_terms st =
+  (* Argument lists share the depth bound: a pathological 100k-argument
+     atom must fail cleanly, not blow the stack. *)
+  enter st;
   let t = parse_term st in
-  if peek st = COMMA then (
-    advance st;
-    t :: parse_terms st)
-  else [ t ]
+  let r =
+    if peek st = COMMA then (
+      advance st;
+      t :: parse_terms st)
+    else [ t ]
+  in
+  leave st;
+  r
 
 let parse s =
   match
-    let st = { toks = lex s } in
+    let st = { src = s; toks = lex s; depth = 0 } in
     let f = parse_formula st in
-    if peek st <> EOF then raise (Error "trailing input");
+    if peek st <> EOF then fail st "trailing input";
     f
   with
   | f -> Ok f
-  | exception Error msg -> Error (Printf.sprintf "parse error in %S: %s" s msg)
+  | exception Error msg -> Error (Printf.sprintf "parse error: %s" msg)
+  | exception Stack_overflow ->
+      (* Depth checks should fire first; this is the backstop that keeps
+         [parse] total on adversarial input. *)
+      Error "parse error: formula too deeply nested"
 
 let parse_exn s =
   match parse s with Ok f -> f | Error msg -> invalid_arg msg

@@ -10,8 +10,10 @@
       'a = x                        (* constants are quoted *)
     v} *)
 
-(** [parse s] parses a formula, returning a descriptive error message on
-    failure. *)
+(** [parse s] parses a formula, returning a descriptive error message
+    (with 1-based line and column) on failure. Total: never raises, on
+    any input — recursion is depth-checked so deeply nested formulas
+    produce an error instead of [Stack_overflow]. *)
 val parse : string -> (Formula.t, string) result
 
 (** @raise Invalid_argument on parse error. *)

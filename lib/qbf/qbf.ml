@@ -22,8 +22,11 @@ let free_vars q =
 
 let is_closed q = free_vars q = []
 
-let eval env q =
-  let rec go env = function
+let eval ?(budget = Fmtk_runtime.Budget.unlimited) env q =
+  let poller = Fmtk_runtime.Budget.poller budget in
+  let rec go env f =
+    Fmtk_runtime.Budget.check poller;
+    match f with
     | Var x -> (
         match env x with
         | v -> v
@@ -44,9 +47,9 @@ let eval env q =
   in
   go env q
 
-let solve q =
+let solve ?budget q =
   match free_vars q with
-  | [] -> eval (fun x -> raise (Invalid_argument x)) q
+  | [] -> eval ?budget (fun x -> raise (Invalid_argument x)) q
   | fv ->
       invalid_arg
         (Printf.sprintf "Qbf.solve: free variables %s" (String.concat ", " fv))

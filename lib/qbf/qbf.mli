@@ -22,12 +22,15 @@ val free_vars : t -> string list
 val is_closed : t -> bool
 
 (** [eval env q] — truth value under an assignment of the free variables.
-    @raise Invalid_argument on unbound variables. *)
-val eval : (string -> bool) -> t -> bool
+    @raise Invalid_argument on unbound variables.
+    @raise Fmtk_runtime.Budget.Exhausted when the (default unlimited)
+    [budget] runs out — polled at every node of the exponential
+    quantifier expansion. *)
+val eval : ?budget:Fmtk_runtime.Budget.t -> (string -> bool) -> t -> bool
 
 (** [solve q] decides a closed QBF.
     @raise Invalid_argument if [q] has free variables. *)
-val solve : t -> bool
+val solve : ?budget:Fmtk_runtime.Budget.t -> t -> bool
 
 (** Number of quantifiers (drives the solver's exponent). *)
 val quantifier_count : t -> int

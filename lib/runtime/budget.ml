@@ -1,0 +1,128 @@
+type reason = Deadline | Fuel | Memory | Cancelled
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Fuel -> "fuel"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"
+
+exception Exhausted of reason
+
+exception Injected_fault
+
+type inject = Exhaust_at of int | Cancel_at of int | Raise_in_worker
+
+module Cancel = struct
+  type token = bool Atomic.t
+
+  let create () = Atomic.make false
+
+  let set t = Atomic.set t true
+
+  let is_set t = Atomic.get t
+end
+
+type t = {
+  deadline : float option;        (* absolute Unix time *)
+  fuel : int Atomic.t option;     (* remaining steps, shared *)
+  memo_cap : int option;
+  cancel : Cancel.token;
+  interval : int;
+  steps : int Atomic.t;           (* polled steps, for stats/injection *)
+  inject : inject option;
+  unlimited : bool;
+}
+
+let create ?deadline_in ?fuel ?memo_cap ?cancel ?(poll_interval = 256)
+    ?inject () =
+  let interval =
+    match inject with
+    | Some (Exhaust_at _ | Cancel_at _) -> 1
+    | _ -> max 1 poll_interval
+  in
+  let unlimited =
+    deadline_in = None && fuel = None && memo_cap = None && cancel = None
+    && inject = None
+  in
+  {
+    deadline =
+      (match deadline_in with
+      | None -> None
+      | Some s -> Some (Unix.gettimeofday () +. s));
+    fuel = (match fuel with None -> None | Some f -> Some (Atomic.make f));
+    memo_cap;
+    cancel = (match cancel with None -> Cancel.create () | Some c -> c);
+    interval;
+    steps = Atomic.make 0;
+    inject;
+    unlimited;
+  }
+
+let unlimited = create ()
+
+let is_unlimited b = b.unlimited
+
+let poll_interval b = b.interval
+
+let cancel b = Cancel.set b.cancel
+
+let steps b = Atomic.get b.steps
+
+let memo_ok b ~entries =
+  match b.memo_cap with None -> true | Some cap -> entries <= cap
+
+let check_memo b ~entries =
+  if not (memo_ok b ~entries) then raise (Exhausted Memory)
+
+let exhausted b =
+  if Cancel.is_set b.cancel then Some Cancelled
+  else
+    match b.fuel with
+    | Some f when Atomic.get f <= 0 -> Some Fuel
+    | _ -> (
+        match b.deadline with
+        | Some d when Unix.gettimeofday () > d -> Some Deadline
+        | _ -> None)
+
+type poller = {
+  budget : t;
+  mutable countdown : int;
+  in_worker : bool;
+}
+
+let make_poller b in_worker = { budget = b; countdown = b.interval; in_worker }
+
+let poller b = make_poller b false
+
+let worker_poller b = make_poller b true
+
+(* Slow path: runs once every [interval] hot-path steps. Consults the
+   shared atomics and the clock; also drives fault injection. *)
+let poll p =
+  let b = p.budget in
+  p.countdown <- b.interval;
+  let polled = Atomic.fetch_and_add b.steps 1 + 1 in
+  (match b.inject with
+  | Some (Exhaust_at n) when polled >= n -> raise (Exhausted Fuel)
+  | Some (Cancel_at n) when polled >= n -> Cancel.set b.cancel
+  | Some Raise_in_worker when p.in_worker && polled >= 2 ->
+      raise Injected_fault
+  | _ -> ());
+  if Cancel.is_set b.cancel then raise (Exhausted Cancelled);
+  (match b.fuel with
+  | Some f ->
+      if Atomic.fetch_and_add f (-b.interval) - b.interval <= 0 then
+        raise (Exhausted Fuel)
+  | None -> ());
+  match b.deadline with
+  | Some d -> if Unix.gettimeofday () > d then raise (Exhausted Deadline)
+  | None -> ()
+
+let check p =
+  if p.budget.unlimited then ()
+  else begin
+    p.countdown <- p.countdown - 1;
+    if p.countdown <= 0 then poll p
+  end
+
+let guard _b f = try Ok (f ()) with Exhausted r -> Error r

@@ -1,6 +1,7 @@
 module Structure = Fmtk_structure.Structure
 module Term = Fmtk_logic.Term
 module Tuple = Fmtk_structure.Tuple
+module Budget = Fmtk_runtime.Budget
 
 type stats = { mutable set_candidates : int; mutable rel_candidates : int }
 
@@ -62,7 +63,8 @@ let relations n k f =
   in
   go 0
 
-let holds ?stats s phi ~env =
+let holds ?stats ?(budget = Budget.unlimited) s phi ~env =
+  let poller = Budget.poller budget in
   let bump_set () =
     match stats with Some st -> st.set_candidates <- st.set_candidates + 1 | None -> ()
   in
@@ -71,6 +73,7 @@ let holds ?stats s phi ~env =
   in
   let n = Structure.size s in
   let rec go env f =
+    Budget.check poller;
     match f with
     | So_formula.True -> true
     | So_formula.False -> false
@@ -131,10 +134,10 @@ let holds ?stats s phi ~env =
   in
   go { fo = env; sets = []; rels = [] } phi
 
-let sat ?stats s phi =
+let sat ?stats ?budget s phi =
   (match So_formula.free_vars phi with
   | [] -> ()
   | fv ->
       invalid_arg
         (Printf.sprintf "So_eval.sat: free variables %s" (String.concat ", " fv)));
-  holds ?stats s phi ~env:[]
+  holds ?stats ?budget s phi ~env:[]

@@ -15,13 +15,20 @@ val new_stats : unit -> stats
 
 (** [sat ?stats s phi] decides [s ⊨ phi] for a second-order sentence.
     @raise Invalid_argument on free first-order variables, unknown
-    relations, or arity mismatches. *)
-val sat : ?stats:stats -> Structure.t -> So_formula.t -> bool
+    relations, or arity mismatches.
+    @raise Fmtk_runtime.Budget.Exhausted when the (default unlimited)
+    [budget] runs out — the evaluator polls it at every formula node, so
+    set/relation candidate enumeration is interruptible. *)
+val sat :
+  ?stats:stats ->
+  ?budget:Fmtk_runtime.Budget.t ->
+  Structure.t -> So_formula.t -> bool
 
 (** [holds ?stats s phi ~env] with a first-order environment (pairs
     variable/element) for open formulas. *)
 val holds :
   ?stats:stats ->
+  ?budget:Fmtk_runtime.Budget.t ->
   Structure.t ->
   So_formula.t ->
   env:(string * int) list ->

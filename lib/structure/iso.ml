@@ -1,4 +1,5 @@
 module Signature = Fmtk_logic.Signature
+module Budget = Fmtk_runtime.Budget
 
 let shared_const_pairs a b =
   let ca = Signature.consts (Structure.signature a) in
@@ -249,7 +250,8 @@ let invariant_key t =
     (String.concat ";" rel_counts)
     (String.concat ";" const_colors)
 
-let find_iso a b =
+let find_iso ?(budget = Budget.unlimited) a b =
+  let poller = Budget.poller budget in
   if Structure.size a <> Structure.size b then None
   else if
     not
@@ -283,6 +285,7 @@ let find_iso a b =
           | x :: rest ->
               List.exists
                 (fun y ->
+                  Budget.check poller;
                   (not used.(y))
                   && extension_ok a b pairs (x, y)
                   &&

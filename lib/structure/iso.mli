@@ -20,8 +20,12 @@ val extension_ok : Structure.t -> Structure.t -> (int * int) list -> int * int -
 
 (** [find_iso a b] is a full isomorphism [f] (as an array indexed by
     elements of [a]) if one exists. Uses colour-refinement invariants to
-    prune the backtracking search. *)
-val find_iso : Structure.t -> Structure.t -> int array option
+    prune the backtracking search.
+    @raise Fmtk_runtime.Budget.Exhausted when the (default unlimited)
+    [budget] runs out before the search is decided. *)
+val find_iso :
+  ?budget:Fmtk_runtime.Budget.t ->
+  Structure.t -> Structure.t -> int array option
 
 val isomorphic : Structure.t -> Structure.t -> bool
 

@@ -19,6 +19,7 @@ type orbits = {
 type t = {
   structure : Structure.t;
   size : int;
+  budget : Fmtk_runtime.Budget.t; (* governs all automorphism searches *)
   trivial_orbits : orbits;
   mutable root_orbits : orbits; (* set once by [make] *)
   cache : (int list, orbits) Hashtbl.t; (* pinned set -> stabilizer orbits *)
@@ -38,11 +39,11 @@ let pin_consts pinned =
 (* A full automorphism of [t.structure] fixing [pinned] pointwise and
    mapping [r] to [e], if one exists. Complete search: [Iso.find_iso]
    backtracks over all WL-colour-compatible assignments. *)
-let automorphism_mapping structure ~pinned r e =
+let automorphism_mapping ~budget structure ~pinned r e =
   let pins = pin_consts pinned in
   let sa = Structure.expand_consts structure (("__orb_t", r) :: pins) in
   let sb = Structure.expand_consts structure (("__orb_t", e) :: pins) in
-  Iso.find_iso sa sb
+  Iso.find_iso ~budget sa sb
 
 let make_orbits ~pinned ~ids n =
   let reps_list =
@@ -50,7 +51,7 @@ let make_orbits ~pinned ~ids n =
   in
   { pinned; ids; reps_list; is_trivial = List.length reps_list = n }
 
-let compute structure ~pinned =
+let compute ~budget structure ~pinned =
   let n = Structure.size structure in
   let pinned_s =
     if pinned = [] then structure
@@ -89,7 +90,7 @@ let compute structure ~pinned =
         let merged =
           List.exists
             (fun r ->
-              match automorphism_mapping structure ~pinned r e with
+              match automorphism_mapping ~budget structure ~pinned r e with
               | Some sigma ->
                   Array.iteri (fun i si -> union i si) sigma;
                   true
@@ -104,7 +105,7 @@ let compute structure ~pinned =
     make_orbits ~pinned ~ids:(Array.init n find) n
   end
 
-let make structure =
+let make ?(budget = Fmtk_runtime.Budget.unlimited) structure =
   let n = Structure.size structure in
   let trivial_orbits =
     make_orbits ~pinned:[] ~ids:(Array.init n Fun.id) n
@@ -113,13 +114,14 @@ let make structure =
     {
       structure;
       size = n;
+      budget;
       trivial_orbits;
       root_orbits = trivial_orbits;
       cache = Hashtbl.create 64;
       lock = Mutex.create ();
     }
   in
-  t.root_orbits <- compute structure ~pinned:[];
+  t.root_orbits <- compute ~budget structure ~pinned:[];
   t
 
 let rigid t = t.root_orbits.is_trivial
@@ -139,7 +141,7 @@ let stabilizer t pinned =
       | None ->
           (* Compute outside the lock: two workers may race on the same
              key, but the results are equal and the last write wins. *)
-          let o = compute t.structure ~pinned in
+          let o = compute ~budget:t.budget t.structure ~pinned in
           Mutex.lock t.lock;
           Hashtbl.replace t.cache pinned o;
           Mutex.unlock t.lock;

@@ -21,7 +21,12 @@ type t
 (** Orbit oracle for one structure. Cheap to build for rigid structures
     (one colour-refinement run); shareable across domains. *)
 
-val make : Structure.t -> t
+(** [make ?budget s] builds the oracle. The budget (default unlimited)
+    governs the automorphism searches the oracle runs — both the eager
+    root-orbit computation and the lazy stabilizer refinements triggered
+    later by {!refine}/{!stabilizer}, which raise
+    [Fmtk_runtime.Budget.Exhausted] like any other budgeted search. *)
+val make : ?budget:Fmtk_runtime.Budget.t -> Structure.t -> t
 
 (** [rigid t] — the automorphism group is trivial. Detected either by a
     discrete WL colouring (no search at all) or by an exhausted

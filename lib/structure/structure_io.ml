@@ -55,7 +55,7 @@ let parse text =
     let size = ref (-1) in
     let rels = ref [] in
     let consts = ref [] in
-    let handle_line line =
+    let handle_line_exn line =
       match tokens_of (strip_comment line) with
       | [] -> ()
       | [ "domain"; n ] -> (
@@ -88,7 +88,17 @@ let parse text =
           | _ -> raise (Bad (Printf.sprintf "bad constant value %S" e)))
       | tok :: _ -> raise (Bad (Printf.sprintf "unknown directive %S" tok))
     in
-    List.iter handle_line (String.split_on_char '\n' text);
+    (* Re-raise per-line failures with a 1-based line number attached. *)
+    let handle_line lineno line =
+      try handle_line_exn line
+      with
+      | Bad msg -> raise (Bad (Printf.sprintf "line %d: %s" lineno msg))
+      | Invalid_argument msg ->
+          raise (Bad (Printf.sprintf "line %d: %s" lineno msg))
+    in
+    List.iteri
+      (fun i line -> handle_line (i + 1) line)
+      (String.split_on_char '\n' text);
     if !size < 0 then raise (Bad "missing 'domain N' line");
     let sg =
       Signature.make
@@ -101,6 +111,8 @@ let parse text =
   | s -> Ok s
   | exception Bad msg -> Error ("structure parse error: " ^ msg)
   | exception Invalid_argument msg -> Error ("structure parse error: " ^ msg)
+  | exception Failure msg -> Error ("structure parse error: " ^ msg)
+  | exception Stack_overflow -> Error "structure parse error: input too large"
 
 let parse_exn text =
   match parse text with Ok s -> s | Error msg -> invalid_arg msg
@@ -109,3 +121,4 @@ let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> parse text
   | exception Sys_error msg -> Error msg
+  | exception Out_of_memory -> Error (path ^ ": file too large to load")

@@ -9,6 +9,14 @@
     v} *)
 
 val to_string : Structure.t -> string
+
+(** [parse text] — total on arbitrary input: every malformed line is
+    reported as [Error] with its 1-based line number, never an
+    uncaught exception. *)
 val parse : string -> (Structure.t, string) result
+
+(** @raise Invalid_argument on parse error. *)
 val parse_exn : string -> Structure.t
+
+(** [load path] — reads and parses; I/O errors become [Error] too. *)
 val load : string -> (Structure.t, string) result
