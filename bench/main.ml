@@ -17,6 +17,9 @@ module Iso = Fmtk_structure.Iso
 module Eval = Fmtk_eval.Eval
 module Compile = Fmtk_db.Compile
 module Ef = Fmtk_games.Ef
+module Pebble = Fmtk_games.Pebble
+module Counting_game = Fmtk_games.Counting_game
+module Wl = Fmtk_structure.Wl
 module Strategy = Fmtk_games.Strategy
 module Distinguish = Fmtk_games.Distinguish
 module Gaifman = Fmtk_locality.Gaifman
@@ -1122,6 +1125,174 @@ let e25 () =
       close_out oc;
       pf "Wrote %s@." path
 
+(* ---------- E26: game engine port + C^k vs k-WL cross-validation ---------- *)
+
+let e26 () =
+  (* Part 1: the generic-engine solvers on the E5/E24 reference
+     workloads. The numbers to compare against live in BENCH_games.json
+     (regenerated by bench/run_bench.sh --games-only): the port must sit
+     within run-to-run noise of the pre-engine solver, so a drift past
+     ±10% on the E24 rows is a regression, not jitter. *)
+  let timing_rows = ref [] in
+  let seq_config =
+    { Ef.memo = true; parallel = false; workers = None; orbit = true }
+  in
+  let time_row ~iters name fn =
+    let positions = ref 0 in
+    let ns =
+      time_ns ~iters (fun () ->
+          let v, (s : Ef.stats) = fn () in
+          positions := s.positions;
+          v)
+    in
+    timing_rows := (name, ns, !positions) :: !timing_rows;
+    pf "  %-36s %12.0f ns %9d pos@." name ns !positions
+  in
+  pf "Engine-ported solvers on the reference workloads (sequential,@.";
+  pf "orbit pruning on; compare E24 rows against BENCH_games.json):@.";
+  time_row ~iters:3 "E24: cycles C12 vs C13, 3 rounds" (fun () ->
+      Ef.solve ~config:seq_config ~rounds:3 (Gen.cycle 12) (Gen.cycle 13));
+  time_row ~iters:3 "E24: sets S10 vs S11, 4 rounds" (fun () ->
+      Ef.solve ~config:seq_config ~rounds:4 (Gen.set 10) (Gen.set 11));
+  time_row ~iters:1 "E24: orders L15 vs L16, 4 rounds" (fun () ->
+      Ef.solve ~config:seq_config ~rounds:4 (Gen.linear_order 15)
+        (Gen.linear_order 16));
+  time_row ~iters:3 "E5: orders L7 vs L9, 3 rounds" (fun () ->
+      Ef.solve ~config:seq_config ~rounds:3 (Gen.linear_order 7)
+        (Gen.linear_order 9));
+  time_row ~iters:3 "pebble k=3: C6 vs C3+C3, 6 rounds" (fun () ->
+      Pebble.solve ~pebbles:3 ~rounds:6 (Gen.cycle 6)
+        (Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ]));
+  let cfi3_u, cfi3_t = Gen.cfi_pair 3 in
+  time_row ~iters:3 "counting k=3: CFI(3) pair, 8 rounds" (fun () ->
+      Counting_game.solve ~pebbles:3 ~rounds:8 cfi3_u cfi3_t);
+  (* The E5 closed-form cross-check, re-run on the ported solver: the
+     characterization must still hold mismatch-free. *)
+  let e5_mismatches = ref 0 in
+  let e5_sweep_ns =
+    time_ns ~iters:1 (fun () ->
+        for n = 0 to 3 do
+          let bound = min 9 ((1 lsl n) + 2) in
+          for m = 0 to bound do
+            for k = 0 to bound do
+              if
+                Ef.duplicator_wins ~rounds:n (Gen.linear_order m)
+                  (Gen.linear_order k)
+                <> Strategy.linear_orders_equiv ~rounds:n m k
+              then incr e5_mismatches
+            done
+          done
+        done)
+  in
+  pf "  %-36s %12.0f ns %9d mismatches@." "E5: closed-form sweep (n <= 3)"
+    e5_sweep_ns !e5_mismatches;
+  (* Part 2: C^k agreement grid — the bijective k-pebble counting game
+     (unbounded rank approximated by rank r) against (k-1)-WL, which
+     decides C^k equivalence exactly. The sound direction is an
+     invariant ((k-1)-WL-equivalent pairs are C^k-equivalent at every
+     rank); the converse is empirical cross-validation at rank r, which
+     is enough to expose a divergence on every family sampled here. *)
+  let c6 = Gen.cycle 6 and c33 = Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ] in
+  let cfi4_u, cfi4_t = Gen.cfi_pair 4 in
+  let grid_pairs =
+    [
+      ("cfi m=3", cfi3_u, cfi3_t);
+      ("cfi m=4", cfi4_u, cfi4_t);
+      ("cycle C6 vs C3+C3", c6, c33);
+      ("cycle C7 vs C7", Gen.cycle 7, Gen.cycle 7);
+      ("order L5 vs L6", Gen.linear_order 5, Gen.linear_order 6);
+      ("order L6 vs L6", Gen.linear_order 6, Gen.linear_order 6);
+    ]
+  in
+  let grid_rows = ref [] in
+  let grid_mismatches = ref 0 in
+  pf "C^k (bijective counting game, rank r) vs (k-1)-WL agreement grid:@.";
+  pf "  %-22s %3s %4s %10s %12s %7s@." "pair" "k" "rank" "(k-1)-WL" "C^k game"
+    "agree";
+  List.iter
+    (fun (name, a, b) ->
+      List.iter
+        (fun k ->
+          let rank = min 10 (2 * max (Structure.size a) (Structure.size b)) in
+          let wl_eq = Wl.equiv ~k:(k - 1) a b in
+          let game_eq = Counting_game.equiv_ck ~k ~rank a b in
+          let agree = wl_eq = game_eq in
+          if not agree then incr grid_mismatches;
+          grid_rows := (name, k, rank, wl_eq, game_eq, agree) :: !grid_rows;
+          pf "  %-22s %3d %4d %10s %12s %7b@." name k rank
+            (if wl_eq then "equiv" else "distinct")
+            (if game_eq then "equiv" else "distinct")
+            agree)
+        [ 2; 3 ])
+    grid_pairs;
+  pf "  grid disagreements: %d (0 = game and refinement cross-validate)@."
+    !grid_mismatches;
+  (* Part 3: the CFI certificate. Twisting one fibre of a cycle cover
+     flips the component count (2 -> 1) without moving any degree or
+     1-WL colour: the pair is C^2-blind but C^3-separated, witnessing
+     the strictness of the counting hierarchy (Cai–Fürer–Immerman). *)
+  let cfi_rows = ref [] in
+  pf "CFI pairs over C_m: 1-WL blind, C^3 sees:@.";
+  pf "  %-6s %4s %10s %8s %8s@." "m" "size" "components" "1-WL" "2-WL";
+  List.iter
+    (fun m ->
+      let u, t = Gen.cfi_pair m in
+      let comps = (Graph.component_count u, Graph.component_count t) in
+      let wl1 = Wl.equiv ~k:1 u t and wl2 = Wl.equiv ~k:2 u t in
+      cfi_rows := (m, Structure.size u, comps, wl1, wl2) :: !cfi_rows;
+      pf "  %-6d %4d %6d vs %d %8s %8s@." m (Structure.size u) (fst comps)
+        (snd comps)
+        (if wl1 then "blind" else "sees")
+        (if wl2 then "blind" else "sees"))
+    [ 3; 4; 5 ];
+  let game_blind = Counting_game.equiv_ck ~k:2 ~rank:6 cfi3_u cfi3_t in
+  let game_sees = not (Counting_game.equiv_ck ~k:3 ~rank:8 cfi3_u cfi3_t) in
+  pf "  game level (m=3): C^2 blind at rank 6: %b, C^3 sees at rank 8: %b@."
+    game_blind game_sees;
+  pf "Shape: every grid row agrees; CFI rows read blind/sees down the@.";
+  pf "columns — the engine's third instance reproduces the WL hierarchy.@.";
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let out = Printf.fprintf in
+      out oc "{\n  \"experiment\": \"E26\",\n  \"unit\": \"ns/run\",\n";
+      out oc "  \"engine_timings\": [\n";
+      let rows = List.rev !timing_rows in
+      List.iteri
+        (fun i (name, ns, positions) ->
+          out oc "    {\"name\": %S, \"engine_ns\": %.1f, \"positions\": %d}%s\n"
+            name ns positions
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      out oc "  ],\n  \"e5_sweep\": {\"ns\": %.1f, \"mismatches\": %d},\n"
+        e5_sweep_ns !e5_mismatches;
+      out oc "  \"agreement_grid\": [\n";
+      let rows = List.rev !grid_rows in
+      List.iteri
+        (fun i (name, k, rank, wl_eq, game_eq, agree) ->
+          out oc
+            "    {\"pair\": %S, \"k\": %d, \"rank\": %d, \"wl_equiv\": %b, \
+             \"game_equiv\": %b, \"agree\": %b}%s\n"
+            name k rank wl_eq game_eq agree
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      out oc "  ],\n  \"grid_disagreements\": %d,\n" !grid_mismatches;
+      out oc "  \"cfi_certificate\": [\n";
+      let rows = List.rev !cfi_rows in
+      List.iteri
+        (fun i (m, size, (cu, ct), wl1, wl2) ->
+          out oc
+            "    {\"m\": %d, \"size\": %d, \"components\": [%d, %d], \
+             \"wl1_blind\": %b, \"wl2_sees\": %b}%s\n"
+            m size cu ct wl1 (not wl2)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      out oc "  ],\n  \"game_c2_blind_m3\": %b, \"game_c3_sees_m3\": %b\n}\n"
+        game_blind game_sees;
+      close_out oc;
+      pf "Wrote %s@." path
+
 (* ---------- Ablations ---------- *)
 
 let ablation () =
@@ -1186,6 +1357,7 @@ let sections =
     ("E23", "compiled FO engine + parallel EF: speedup table", e23);
     ("E24", "symmetry-pruned EF search: orbit x parallel grid", e24);
     ("E25", "budget poll overhead on the rigid-order EF workload", e25);
+    ("E26", "engine port timings + C^k vs k-WL agreement + CFI certificate", e26);
     ("ablation", "design-choice ablations", ablation);
   ]
 

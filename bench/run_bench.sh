@@ -3,8 +3,11 @@
 #   E23 -> BENCH_eval.json   (naive vs compiled eval, sequential vs parallel EF)
 #   E24 -> BENCH_games.json  (orbit pruning x parallel fan-out grid)
 #   E25 -> BENCH_budget.json (budget poll overhead on the rigid-order workload)
-# --games-only skips the E23 eval re-timing and refreshes only
-# BENCH_games.json. Extra arguments are passed through to bench/main.exe.
+#   E26 -> BENCH_engine.json (engine-ported solver timings, C^k vs k-WL
+#                             agreement grid, CFI certificate)
+# --games-only skips the E23/E25 re-timing and refreshes only the game
+# trails (BENCH_games.json + BENCH_engine.json). Extra arguments are
+# passed through to bench/main.exe.
 #
 # Every section runs under a per-case deadline (FMTK_BENCH_DEADLINE
 # seconds, default 600) so one pathological case cannot stall the run;
@@ -30,5 +33,7 @@ if [ "$games_only" = false ]; then
   dune exec bench/main.exe -- --only E25 --json BENCH_budget.json \
     --deadline "$FMTK_BENCH_DEADLINE" $passthrough
 fi
-exec dune exec bench/main.exe -- --only E24 --json BENCH_games.json \
+dune exec bench/main.exe -- --only E24 --json BENCH_games.json \
+  --deadline "$FMTK_BENCH_DEADLINE" $passthrough
+exec dune exec bench/main.exe -- --only E26 --json BENCH_engine.json \
   --deadline "$FMTK_BENCH_DEADLINE" $passthrough

@@ -2,7 +2,8 @@
 
    Structures are given either as files (see Structure_io) or as generator
    specs like "cycle:8", "order:5", "chain:6", "set:4", "complete:3",
-   "tree:3", "grid:3x4", "random:20:0.3:7", "paley:13".
+   "tree:3", "grid:3x4", "random:20:0.3:7", "paley:13", "cfi:4",
+   "cfi-twisted:4".
 
    Exit codes: 0 success, 1 usage/input error, 2 resource budget
    exhausted before an answer (gave up), 3 internal error. Set
@@ -19,6 +20,8 @@ module Graph = Fmtk_structure.Graph
 module Eval = Fmtk_eval.Eval
 module Compile = Fmtk_db.Compile
 module Ef = Fmtk_games.Ef
+module Pebble = Fmtk_games.Pebble
+module Counting_game = Fmtk_games.Counting_game
 module Distinguish = Fmtk_games.Distinguish
 module Neighborhood = Fmtk_locality.Neighborhood
 module Hanf = Fmtk_locality.Hanf
@@ -67,6 +70,8 @@ let parse_spec spec =
   | [ "complete"; n ] -> Ok (Gen.complete (int_of_string n))
   | [ "tree"; d ] -> Ok (Gen.binary_tree (int_of_string d))
   | [ "paley"; q ] -> Ok (Paley.graph (int_of_string q))
+  | [ "cfi"; m ] -> Ok (fst (Gen.cfi_pair (int_of_string m)))
+  | [ "cfi-twisted"; m ] -> Ok (snd (Gen.cfi_pair (int_of_string m)))
   | [ "grid"; dims ] -> (
       match String.split_on_char 'x' dims with
       | [ w; h ] -> Ok (Gen.grid (int_of_string w) (int_of_string h))
@@ -171,8 +176,40 @@ let eval_cmd =
 (* ---- game ---- *)
 
 let game_cmd =
-  let run a b rounds distinguish budget =
+  (* Pebbled variants bypass the Decide ladder: they answer a different
+     question (FO^k / C^k agreement, not plain ≡rank), so the EF-specific
+     certificate rungs would be unsound for them. *)
+  let run_pebbled a b ~rounds ~pebbles ~counting budget =
+    let verdict, (stats : Fmtk_games.Engine.stats) =
+      if counting then
+        Counting_game.solve_verdict ~budget ~pebbles ~rounds a b
+      else Pebble.solve_verdict ~budget ~pebbles ~rounds a b
+    in
+    let game_name =
+      if counting then
+        Printf.sprintf "%d-pebble bijective counting (C^%d)" pebbles pebbles
+      else Printf.sprintf "%d-pebble (FO^%d)" pebbles pebbles
+    in
+    (match verdict with
+    | Pebble.Equivalent ->
+        Format.printf "duplicator wins the %d-round %s game@." rounds
+          game_name
+    | Pebble.Distinguished ->
+        Format.printf "duplicator loses the %d-round %s game@." rounds
+          game_name
+    | Pebble.Gave_up r -> raise (Budget.Exhausted r));
+    Format.printf "(%d positions, %d memo hits, %d worker(s))@."
+      stats.positions stats.memo_hits stats.workers;
+    Ok ()
+  in
+  let run a b rounds pebbles counting distinguish budget =
     exec @@ fun () ->
+    match pebbles with
+    | Some k when k > 0 -> run_pebbled a b ~rounds ~pebbles:k ~counting budget
+    | Some _ -> Error (`Msg "need at least one pebble")
+    | None when counting ->
+        Error (`Msg "--counting needs a pebble count (-k K)")
+    | None ->
     let outcome = Decide.equiv ~budget ~extract:distinguish ~rank:rounds a b in
     (match outcome.Decide.verdict with
     | Decide.Equivalent ->
@@ -208,6 +245,23 @@ let game_cmd =
       & opt (some int) None
       & info [ "n"; "rounds" ] ~docv:"N" ~doc:"Number of rounds.")
   in
+  let pebbles =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "pebbles" ] ~docv:"K"
+          ~doc:
+            "Play the $(docv)-pebble game (agreement on FO^$(docv) up to \
+             quantifier rank $(b,--rounds)) instead of the plain EF game.")
+  in
+  let counting =
+    Arg.(
+      value & flag
+      & info [ "counting" ]
+          ~doc:
+            "With $(b,-k): play the bijective counting game instead, \
+             deciding agreement on the counting logic C^K.")
+  in
   let distinguish =
     Arg.(
       value & flag
@@ -220,7 +274,7 @@ let game_cmd =
       const run
       $ structure_arg ~name:"LEFT" ~doc:"First structure." 0
       $ structure_arg ~name:"RIGHT" ~doc:"Second structure." 1
-      $ rounds $ distinguish $ budget_term)
+      $ rounds $ pebbles $ counting $ distinguish $ budget_term)
 
 (* ---- locality ---- *)
 

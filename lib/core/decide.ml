@@ -1,5 +1,5 @@
 module Structure = Fmtk_structure.Structure
-module Iso = Fmtk_structure.Iso
+module Wl = Fmtk_structure.Wl
 module Budget = Fmtk_runtime.Budget
 module Formula = Fmtk_logic.Formula
 module Ef = Fmtk_games.Ef
@@ -7,10 +7,16 @@ module Distinguish = Fmtk_games.Distinguish
 module Gaifman = Fmtk_locality.Gaifman
 module Hanf = Fmtk_locality.Hanf
 
-type method_ = Exact_game | Degree_sequence | Wl_refinement | Hanf_locality
+type method_ =
+  | Exact_game
+  | Kwl_refinement
+  | Degree_sequence
+  | Wl_refinement
+  | Hanf_locality
 
 let method_to_string = function
   | Exact_game -> "exact-game"
+  | Kwl_refinement -> "kwl-refinement"
   | Degree_sequence -> "degree-sequence"
   | Wl_refinement -> "wl-refinement"
   | Hanf_locality -> "hanf-locality"
@@ -33,14 +39,16 @@ let degree_multiset t =
   Gaifman.adjacency t |> Array.map List.length |> Array.to_list
   |> List.sort Int.compare
 
-(* Joint 1-WL colour censuses. Colours are computed jointly, so ids are
-   comparable across the two structures; a census mismatch means some
-   counting-of-colour-class property separates them, and those are
-   FO-expressible on finite structures. *)
-let wl_census_mismatch a b =
-  let ca, cb = Iso.wl_colors a b in
-  let sorted arr = List.sort Int.compare (Array.to_list arr) in
-  sorted ca <> sorted cb
+(* 2-WL (= C^3) census comparison, the strongest certificate rung: a
+   mismatch means some C^3 sentence separates the structures, and every
+   counting quantifier is FO-expressible on finite structures. Guarded
+   to stay a *cheap* certificate — the joint refinement walks n^2 tuples
+   per structure per round, so past the guard we skip rather than burn
+   the whole budget on one rung (the cheaper rungs below still run). *)
+let kwl_mismatch a b =
+  Structure.size a = Structure.size b
+  && Structure.size a <= 96
+  && not (Wl.equiv ~k:2 a b)
 
 (* Hanf locality is only a cheap certificate while radius-[r] balls stay
    genuinely local: once a ball can cover the whole structure the census
@@ -81,9 +89,10 @@ let equiv ?config ?(budget = Budget.unlimited) ?(extract = false) ~rank a b =
       let answered verdict m =
         { verdict; answered_by = Some m; positions = st.positions }
       in
-      if degree_multiset a <> degree_multiset b then
+      if kwl_mismatch a b then answered Distinguishable Kwl_refinement
+      else if degree_multiset a <> degree_multiset b then
         answered Distinguishable Degree_sequence
-      else if wl_census_mismatch a b then
+      else if not (Wl.census_equal1 a b) then
         answered Distinguishable Wl_refinement
       else begin
         match hanf_radius ~rank a b with

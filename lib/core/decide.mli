@@ -9,11 +9,17 @@
     The ladder, in order:
     + the exact EF game search (answers [Equivalent]/[Distinguished] at
       the requested rank);
+    + 2-WL, i.e. C^3, refinement ({!Fmtk_structure.Wl.equiv}) — the
+      strongest certificate rung: a census mismatch certifies
+      [Distinguishable] (counting quantifiers are FO-expressible on
+      finite structures). Size-guarded, since the joint refinement walks
+      [n^2] tuples per round;
     + Gaifman degree sequences — different degree multisets are
       FO-expressible, so a mismatch certifies [Distinguishable];
-    + 1-WL colour refinement ({!Fmtk_structure.Iso.wl_colors}) — colour
-      census mismatch certifies [Distinguishable] (counting properties
-      of colour classes are FO-expressible);
+    + 1-WL colour refinement ({!Fmtk_structure.Wl.census_equal1}) —
+      colour census mismatch certifies [Distinguishable] likewise
+      (subsumed by the 2-WL rung but unguarded: it is linear-ish, so it
+      still fires on structures too big for 2-WL);
     + Hanf locality ({!Fmtk_locality.Hanf}) at the sound radius
       [(3^rank - 1) / 2]: matching neighborhood censuses certify
       [Equivalent] {e at the requested rank} (Theorem 3.8/3.10), a
@@ -35,8 +41,9 @@ module Ef = Fmtk_games.Ef
 (** Which rung of the ladder produced the verdict. *)
 type method_ =
   | Exact_game
+  | Kwl_refinement  (** 2-WL / C^3 census mismatch *)
   | Degree_sequence
-  | Wl_refinement
+  | Wl_refinement  (** 1-WL / C^2 census mismatch *)
   | Hanf_locality
 
 val method_to_string : method_ -> string

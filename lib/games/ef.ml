@@ -1,8 +1,17 @@
+(* EF-game move semantics over the generic kernel — see ef.mli.
+
+   The solver loop (memo, parallel fan-out, budget polling, stats) lives
+   in {!Engine}; this module only says what an EF position is and how it
+   expands: the spoiler pebbles any element on either side, the
+   duplicator must answer with an element keeping the played pairs a
+   partial isomorphism, and the game value is the conjunction over
+   spoiler moves of the disjunction over duplicator replies. *)
+
 module Structure = Fmtk_structure.Structure
 module Iso = Fmtk_structure.Iso
+module Wl = Fmtk_structure.Wl
 module Orbit = Fmtk_structure.Orbit
 module Budget = Fmtk_runtime.Budget
-module Tbl = Packed.Tbl
 
 type config = {
   memo : bool;
@@ -13,246 +22,168 @@ type config = {
 
 let default_config = { memo = true; parallel = true; workers = None; orbit = true }
 
-type stats = { positions : int; memo_hits : int; workers : int }
+type stats = Engine.stats = {
+  positions : int;
+  memo_hits : int;
+  workers : int;
+}
 
-type verdict = Equivalent | Distinguished | Gave_up of Budget.reason
+type verdict = Engine.verdict =
+  | Equivalent
+  | Distinguished
+  | Gave_up of Budget.reason
 
-(* Sharded memo shared by all workers of one solve: key-hash -> shard,
-   mutex-guarded table per shard. A sequential solve ([locked = false])
-   uses one shard and skips the mutexes entirely — the lock-free fast
-   path. The parallel path must lock reads as well: a [Hashtbl] resize
-   concurrent with an unlocked [find_opt] is a data race in OCaml 5, so
-   "where safe" means single-worker. 64 shards keep contention low.
+module Game = struct
+  type ctx = {
+    a : Structure.t;
+    b : Structure.t;
+    dom_a : int list;
+    dom_b : int list;
+    colors_a : int array;
+    colors_b : int array;
+    span : int;
+    orbit_a : Orbit.t option;
+    orbit_b : Orbit.t option;
+  }
 
-   A worker interrupted by [Budget.Exhausted] (or a fault injection)
-   between positions simply never writes the entry it was computing:
-   every stored value is the result of a completed subgame, so an
-   interrupted solve cannot poison a shard for the workers that
-   outlive it. *)
-module Memo = struct
-  type shard = { lock : Mutex.t; tbl : bool Tbl.t }
-  type t = { shards : shard array; mask : int; locked : bool }
+  (* A position carries the remaining rounds, the played pairs (for the
+     incremental [Iso.extension_ok] checks), the packed key material and
+     the per-side stabilizer orbits of the pebbled elements. *)
+  type pos = {
+    rounds : int;
+    pairs : (int * int) list;
+    packed : Packed.Key.t;
+    oa : Orbit.orbits option;
+    ob : Orbit.orbits option;
+  }
 
-  let create ~locked =
-    let n = if locked then 64 else 1 in
-    {
-      shards =
-        Array.init n (fun _ ->
-            { lock = Mutex.create (); tbl = Tbl.create 1024 });
-      mask = n - 1;
-      locked;
-    }
+  let key _ p = Packed.key ~rounds:p.rounds p.packed
 
-  let shard m key = m.shards.(Packed.Key.hash key land m.mask)
+  (* Rounds exhausted: the surviving pairs are a partial isomorphism by
+     construction, so the duplicator has won. *)
+  let terminal _ p = if p.rounds = 0 then Some true else None
 
-  let find_opt m key =
-    let s = shard m key in
-    if not m.locked then Tbl.find_opt s.tbl key
-    else begin
-      Mutex.lock s.lock;
-      let r = Tbl.find_opt s.tbl key in
-      Mutex.unlock s.lock;
-      r
-    end
+  (* Orbit oracles: spoiler moves (and duplicator replies) in the same
+     orbit of the pointwise stabilizer of the position's elements lead
+     to isomorphic subgames, so only one representative per orbit is
+     explored. Shared across workers — the caches are mutex-guarded. *)
+  let refine ot o pin =
+    match (ot, o) with
+    | Some t, Some o -> Some (Orbit.refine t o [ pin ])
+    | _ -> None
 
-  let add m key v =
-    let s = shard m key in
-    if not m.locked then Tbl.replace s.tbl key v
-    else begin
-      Mutex.lock s.lock;
-      Tbl.replace s.tbl key v;
-      Mutex.unlock s.lock
-    end
+  let moves_of o dom = match o with Some o -> Orbit.reps o | None -> dom
+
+  (* Candidate ordering heuristic: try duplicator replies whose WL colour
+     matches the spoiler's element first — the good reply is usually found
+     immediately, which matters because [List.exists] short-circuits. *)
+  let ordered_replies spoiler_color replies colors =
+    let matching, rest =
+      List.partition (fun y -> colors.(y) = spoiler_color) replies
+    in
+    matching @ rest
+
+  (* Can the duplicator answer the spoiler's [pick]? [other_first] means
+     the spoiler played in [b] and the duplicator answers in [a]. *)
+  let answer ctx ~recurse pos other_first pick =
+    let replies =
+      if other_first then
+        ordered_replies ctx.colors_b.(pick)
+          (moves_of pos.oa ctx.dom_a)
+          ctx.colors_a
+      else
+        ordered_replies ctx.colors_a.(pick)
+          (moves_of pos.ob ctx.dom_b)
+          ctx.colors_b
+    in
+    List.exists
+      (fun reply ->
+        let x, y = if other_first then (reply, pick) else (pick, reply) in
+        Iso.extension_ok ctx.a ctx.b pos.pairs (x, y)
+        && recurse
+             {
+               rounds = pos.rounds - 1;
+               pairs = (x, y) :: pos.pairs;
+               packed = Packed.insert pos.packed ((x * ctx.span) + y);
+               oa = refine ctx.orbit_a pos.oa x;
+               ob = refine ctx.orbit_b pos.ob y;
+             })
+      replies
+
+  let expand ctx ~recurse pos =
+    List.for_all
+      (fun x -> answer ctx ~recurse pos false x)
+      (moves_of pos.oa ctx.dom_a)
+    && List.for_all
+         (fun y -> answer ctx ~recurse pos true y)
+         (moves_of pos.ob ctx.dom_b)
+
+  let root_tasks ctx pos =
+    List.map
+      (fun x ~recurse -> answer ctx ~recurse pos false x)
+      (moves_of pos.oa ctx.dom_a)
+    @ List.map
+        (fun y ~recurse -> answer ctx ~recurse pos true y)
+        (moves_of pos.ob ctx.dom_b)
+
+  (* Indexes are forced before domains spawn so the probes workers make
+     through [Iso.extension_ok] never write shared state. *)
+  let prepare_shared ctx =
+    Structure.ensure_indexes ctx.a;
+    Structure.ensure_indexes ctx.b
 end
 
-(* How many domains the root fan-out may use. [moves] is the count of
-   orbit-pruned root moves, so symmetric structures (few orbits) stay
-   sequential — spawning would cost more than the whole search. An
-   explicit [workers = Some k] forces the fan-out (tests use it to
-   exercise the parallel path on any machine). *)
-let worker_count config ~rounds ~moves =
-  if not config.parallel then 1
-  else
-    match config.workers with
-    | Some k -> max 1 (min k moves)
-    | None ->
-        if rounds < 2 || moves < 12 then 1
-        else min (min 8 (Domain.recommended_domain_count ())) moves
+module Solver = Engine.Make (Game)
 
 (* Core solver: [Ok win] on a decided game, [Error reason] when the
    budget ran out first. Stats are returned in both cases. *)
 let solve_result ~config ~budget ~start ~rounds a b =
   if rounds < 0 then invalid_arg "Ef: negative round count";
-  let finish verdict ~positions ~memo_hits ~workers =
-    (verdict, { positions; memo_hits; workers })
-  in
   if not (Iso.partial_iso a b start) then
-    finish (Ok false) ~positions:0 ~memo_hits:0 ~workers:1
+    (Ok false, { positions = 0; memo_hits = 0; workers = 1 })
   else begin
-    let dom_a = Structure.domain a and dom_b = Structure.domain b in
-    (* Candidate ordering heuristic: try duplicator replies whose WL colour
-       matches the spoiler's element first — the good reply is usually found
-       immediately, which matters because [List.exists] short-circuits. *)
-    let colors_a, colors_b = Iso.wl_colors a b in
-    let ordered_replies spoiler_color replies colors =
-      let matching, rest =
-        List.partition (fun y -> colors.(y) = spoiler_color) replies
-      in
-      matching @ rest
-    in
+    let colors_a, colors_b = Wl.colors_joint a b in
     let span = max 1 (Structure.size b) in
-    let pack x y = (x * span) + y in
-    let packed_start = Packed.of_pairs ~span start in
-    (* Orbit oracles: spoiler moves (and duplicator replies) in the same
-       orbit of the pointwise stabilizer of the position's elements lead
-       to isomorphic subgames, so only one representative per orbit is
-       explored. Shared across workers — the caches are mutex-guarded. *)
     let orbit_a, orbit_b =
-      if config.orbit then (Some (Orbit.make ~budget a), Some (Orbit.make ~budget b))
+      if config.orbit then
+        (Some (Orbit.make ~budget a), Some (Orbit.make ~budget b))
       else (None, None)
     in
-    let refine ot o pin =
-      match (ot, o) with
-      | Some t, Some o -> Some (Orbit.refine t o [ pin ])
-      | _ -> None
-    in
-    let moves_of o dom = match o with Some o -> Orbit.reps o | None -> dom in
     let root_of ot side =
       match ot with
       | Some t -> Some (Orbit.refine t (Orbit.root t) (List.map side start))
       | None -> None
     in
-    let oa0 = root_of orbit_a fst and ob0 = root_of orbit_b snd in
-    (* One searcher per worker: private counters and budget poller; memo
-       and orbit caches are the shared state. The budget is checked once
-       per [win] entry, so cancellation and deadlines take effect within
-       one poll interval of position visits. *)
-    let searcher memo poller =
-      let explored = ref 0 and hits = ref 0 in
-      let rec win n pairs packed oa ob =
-        Budget.check poller;
-        if n = 0 then true
-        else begin
-          let key = Packed.key ~rounds:n packed in
-          match if config.memo then Memo.find_opt memo key else None with
-          | Some v ->
-              incr hits;
-              v
-          | None ->
-              incr explored;
-              let v =
-                List.for_all
-                  (fun x -> answer_in n pairs packed oa ob false x)
-                  (moves_of oa dom_a)
-                && List.for_all
-                     (fun y -> answer_in n pairs packed oa ob true y)
-                     (moves_of ob dom_b)
-              in
-              (* Memory cap: past it, stop storing (sound — we only lose
-                 sharing) rather than grow the table further. *)
-              if config.memo && Budget.memo_ok budget ~entries:!explored then
-                Memo.add memo key v;
-              v
-        end
-      and answer_in n pairs packed oa ob other_first pick =
-        let replies =
-          if other_first then
-            ordered_replies colors_b.(pick) (moves_of oa dom_a) colors_a
-          else ordered_replies colors_a.(pick) (moves_of ob dom_b) colors_b
-        in
-        List.exists
-          (fun reply ->
-            let x, y = if other_first then (reply, pick) else (pick, reply) in
-            Iso.extension_ok a b pairs (x, y)
-            && win (n - 1)
-                 ((x, y) :: pairs)
-                 (Packed.insert packed (pack x y))
-                 (refine orbit_a oa x) (refine orbit_b ob y))
-          replies
-      in
-      (win, answer_in, explored, hits)
+    let ctx =
+      {
+        Game.a;
+        b;
+        dom_a = Structure.domain a;
+        dom_b = Structure.domain b;
+        colors_a;
+        colors_b;
+        span;
+        orbit_a;
+        orbit_b;
+      }
     in
-    let sequential () =
-      let memo = Memo.create ~locked:false in
-      let win, _, explored, hits = searcher memo (Budget.poller budget) in
-      match win rounds start packed_start oa0 ob0 with
-      | v -> finish (Ok v) ~positions:!explored ~memo_hits:!hits ~workers:1
-      | exception Budget.Exhausted r ->
-          finish (Error r) ~positions:!explored ~memo_hits:!hits ~workers:1
+    let root =
+      {
+        Game.rounds;
+        pairs = start;
+        packed = Packed.of_pairs ~span start;
+        oa = root_of orbit_a fst;
+        ob = root_of orbit_b snd;
+      }
     in
-    let root_moves =
-      List.map (fun x -> (false, x)) (moves_of oa0 dom_a)
-      @ List.map (fun y -> (true, y)) (moves_of ob0 dom_b)
-    in
-    let w = worker_count config ~rounds ~moves:(List.length root_moves) in
-    if rounds = 0 || w <= 1 then sequential ()
-    else begin
-      (* Root fan-out over a work-stealing queue: workers claim the next
-         unexplored root move with an atomic counter, so one domain never
-         ends up holding all the hard subtrees the way static chunking
-         did. The memo is shared, so workers extend — not repeat — each
-         other's searches. Indexes are forced first so the probes workers
-         make through [Iso.extension_ok] never write shared state.
-
-         Failure discipline: a worker never lets an exception escape into
-         [Domain.join]. The first failure (budget exhaustion or a real
-         fault) is parked in [failure] and [stop] makes every other
-         worker bail out at its next poll or root-claim; the coordinator
-         joins ALL domains before acting on it, so no domain is ever
-         leaked, and counters are flushed on the way out so stats survive
-         a [Gave_up]. *)
-      Structure.ensure_indexes a;
-      Structure.ensure_indexes b;
-      let memo = Memo.create ~locked:true in
-      let moves = Array.of_list root_moves in
-      let next = Atomic.make 0 in
-      let refuted = Atomic.make false in
-      let stop = Atomic.make false in
-      let failure = Atomic.make None in
-      let positions = Atomic.make 1 (* the root position itself *) in
-      let hits_total = Atomic.make 0 in
-      let worker ~spawned () =
-        let poller =
-          if spawned then Budget.worker_poller budget else Budget.poller budget
-        in
-        let _, answer_in, explored, hits = searcher memo poller in
-        (try
-           let rec loop () =
-             if not (Atomic.get refuted) && not (Atomic.get stop) then begin
-               let i = Atomic.fetch_and_add next 1 in
-               if i < Array.length moves then begin
-                 let other_first, pick = moves.(i) in
-                 if
-                   not
-                     (answer_in rounds start packed_start oa0 ob0 other_first
-                        pick)
-                 then Atomic.set refuted true;
-                 loop ()
-               end
-             end
-           in
-           loop ()
-         with e ->
-           ignore (Atomic.compare_and_set failure None (Some e));
-           Atomic.set stop true);
-        ignore (Atomic.fetch_and_add positions !explored);
-        ignore (Atomic.fetch_and_add hits_total !hits)
-      in
-      let domains =
-        Array.init (w - 1) (fun _ -> Domain.spawn (worker ~spawned:true))
-      in
-      worker ~spawned:false ();
-      Array.iter Domain.join domains;
-      let positions = Atomic.get positions
-      and memo_hits = Atomic.get hits_total in
-      match Atomic.get failure with
-      | Some (Budget.Exhausted r) ->
-          finish (Error r) ~positions ~memo_hits ~workers:w
-      | Some e -> raise e
-      | None ->
-          finish (Ok (not (Atomic.get refuted))) ~positions ~memo_hits
-            ~workers:w
-    end
+    Solver.solve_result
+      ~config:
+        {
+          Engine.memo = config.memo;
+          parallel = config.parallel;
+          workers = config.workers;
+        }
+      ~budget ~depth_hint:rounds ctx root
   end
 
 let solve ?(config = default_config) ?(budget = Budget.unlimited)

@@ -48,19 +48,27 @@ type config = {
 
 val default_config : config
 
-(** Counters of one solve, returned on decided AND on [Gave_up] runs.
-    [positions] is the number of distinct game positions expanded (memo
-    misses); [memo_hits] the number of searches answered from the memo;
-    [workers] the domains actually used. In parallel runs the counters
-    are aggregated atomically across workers; position counts can vary
-    slightly run to run because workers race to expand the same
-    position. *)
-type stats = { positions : int; memo_hits : int; workers : int }
+(** Counters of one solve (an equation with {!Engine.stats} — all game
+    solvers report through the shared kernel record), returned on
+    decided AND on [Gave_up] runs. [positions] is the number of distinct
+    game positions expanded (memo misses); [memo_hits] the number of
+    searches answered from the memo; [workers] the domains actually
+    used. In parallel runs the counters are aggregated atomically across
+    workers; position counts can vary slightly run to run because
+    workers race to expand the same position. *)
+type stats = Engine.stats = {
+  positions : int;
+  memo_hits : int;
+  workers : int;
+}
 
-(** Three-valued outcome of a budgeted solve. [Gave_up r] means the
-    budget ran out for reason [r] before the game was decided — never a
-    wrong answer, only an absent one. *)
-type verdict = Equivalent | Distinguished | Gave_up of Budget.reason
+(** Three-valued outcome of a budgeted solve (= {!Engine.verdict}).
+    [Gave_up r] means the budget ran out for reason [r] before the game
+    was decided — never a wrong answer, only an absent one. *)
+type verdict = Engine.verdict =
+  | Equivalent
+  | Distinguished
+  | Gave_up of Budget.reason
 
 (** [solve ?config ?budget ?start ~rounds a b] decides the
     [rounds]-round game starting from the (default empty) position

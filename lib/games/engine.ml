@@ -1,0 +1,204 @@
+(* The generic game-engine kernel — see engine.mli.
+
+   Every model-comparison game in the toolbox (EF, k-pebble, bijective
+   counting) is a back-and-forth search over packed positions; this
+   module owns, exactly once, the machinery that used to be duplicated
+   per solver: the packed int-array memo with budget-capped insertion,
+   the 64-way sharded shared memo for parallel runs, the work-stealing
+   [Domain.spawn] root fan-out with parked-exception draining, amortized
+   budget polling, the stats record and the three-valued verdict. A game
+   plugs in only its move semantics ({!GAME}). *)
+
+module Budget = Fmtk_runtime.Budget
+module Tbl = Packed.Tbl
+
+type config = { memo : bool; parallel : bool; workers : int option }
+
+let default_config = { memo = true; parallel = true; workers = None }
+
+type stats = { positions : int; memo_hits : int; workers : int }
+
+type verdict = Equivalent | Distinguished | Gave_up of Budget.reason
+
+module type GAME = sig
+  type ctx
+  type pos
+
+  val key : ctx -> pos -> Packed.Key.t
+  val terminal : ctx -> pos -> bool option
+  val expand : ctx -> recurse:(pos -> bool) -> pos -> bool
+  val root_tasks : ctx -> pos -> (recurse:(pos -> bool) -> bool) list
+  val prepare_shared : ctx -> unit
+end
+
+(* Sharded memo shared by all workers of one solve: key-hash -> shard,
+   mutex-guarded table per shard. A sequential solve ([locked = false])
+   uses one shard and skips the mutexes entirely — the lock-free fast
+   path. The parallel path must lock reads as well: a [Hashtbl] resize
+   concurrent with an unlocked [find_opt] is a data race in OCaml 5, so
+   "where safe" means single-worker. 64 shards keep contention low.
+
+   A worker interrupted by [Budget.Exhausted] (or a fault injection)
+   between positions simply never writes the entry it was computing:
+   every stored value is the result of a completed subgame, so an
+   interrupted solve cannot poison a shard for the workers that
+   outlive it. *)
+module Memo = struct
+  type shard = { lock : Mutex.t; tbl : bool Tbl.t }
+  type t = { shards : shard array; mask : int; locked : bool }
+
+  let create ~locked =
+    let n = if locked then 64 else 1 in
+    {
+      shards =
+        Array.init n (fun _ ->
+            { lock = Mutex.create (); tbl = Tbl.create 1024 });
+      mask = n - 1;
+      locked;
+    }
+
+  let shard m key = m.shards.(Packed.Key.hash key land m.mask)
+
+  let find_opt m key =
+    let s = shard m key in
+    if not m.locked then Tbl.find_opt s.tbl key
+    else begin
+      Mutex.lock s.lock;
+      let r = Tbl.find_opt s.tbl key in
+      Mutex.unlock s.lock;
+      r
+    end
+
+  let add m key v =
+    let s = shard m key in
+    if not m.locked then Tbl.replace s.tbl key v
+    else begin
+      Mutex.lock s.lock;
+      Tbl.replace s.tbl key v;
+      Mutex.unlock s.lock
+    end
+end
+
+(* How many domains the root fan-out may use. [moves] is the number of
+   root tasks the game exposes (already symmetry-pruned by the game's
+   orbit oracles), so symmetric structures stay sequential — spawning
+   would cost more than the whole search. An explicit [workers = Some k]
+   forces the fan-out (tests use it to exercise the parallel path on any
+   machine). *)
+let worker_count config ~depth_hint ~moves =
+  if not config.parallel then 1
+  else
+    match config.workers with
+    | Some k -> max 1 (min k moves)
+    | None ->
+        if depth_hint < 2 || moves < 12 then 1
+        else min (min 8 (Domain.recommended_domain_count ())) moves
+
+module Make (G : GAME) = struct
+  let solve_result ~config ~budget ~depth_hint ctx root =
+    let finish verdict ~positions ~memo_hits ~workers =
+      (verdict, { positions; memo_hits; workers })
+    in
+    (* One searcher per worker: private counters and budget poller; the
+       memo (and whatever shared caches the game's context holds) is the
+       shared state. The budget is checked once per position entry, so
+       cancellation and deadlines take effect within one poll interval
+       of position visits. *)
+    let searcher memo poller =
+      let explored = ref 0 and hits = ref 0 in
+      let rec solve pos =
+        Budget.check poller;
+        match G.terminal ctx pos with
+        | Some v -> v
+        | None -> (
+            let key = G.key ctx pos in
+            match if config.memo then Memo.find_opt memo key else None with
+            | Some v ->
+                incr hits;
+                v
+            | None ->
+                incr explored;
+                let v = G.expand ctx ~recurse:solve pos in
+                (* Memory cap: past it, stop storing (sound — we only
+                   lose sharing) rather than grow the table further. *)
+                if config.memo && Budget.memo_ok budget ~entries:!explored
+                then Memo.add memo key v;
+                v)
+      in
+      (solve, explored, hits)
+    in
+    let sequential () =
+      let memo = Memo.create ~locked:false in
+      let solve, explored, hits = searcher memo (Budget.poller budget) in
+      match solve root with
+      | v -> finish (Ok v) ~positions:!explored ~memo_hits:!hits ~workers:1
+      | exception Budget.Exhausted r ->
+          finish (Error r) ~positions:!explored ~memo_hits:!hits ~workers:1
+    in
+    let tasks = Array.of_list (G.root_tasks ctx root) in
+    let w = worker_count config ~depth_hint ~moves:(Array.length tasks) in
+    if depth_hint = 0 || w <= 1 then sequential ()
+    else begin
+      (* Root fan-out over a work-stealing queue: workers claim the next
+         unexplored root task with an atomic counter, so one domain never
+         ends up holding all the hard subtrees the way static chunking
+         would. The memo is shared, so workers extend — not repeat — each
+         other's searches. [prepare_shared] forces whatever per-structure
+         caches the probes need (membership indexes) so workers never
+         write unguarded shared state.
+
+         Failure discipline: a worker never lets an exception escape into
+         [Domain.join]. The first failure (budget exhaustion or a real
+         fault) is parked in [failure] and [stop] makes every other
+         worker bail out at its next poll or root-claim; the coordinator
+         joins ALL domains before acting on it, so no domain is ever
+         leaked, and counters are flushed on the way out so stats survive
+         a [Gave_up]. *)
+      G.prepare_shared ctx;
+      let memo = Memo.create ~locked:true in
+      let next = Atomic.make 0 in
+      let refuted = Atomic.make false in
+      let stop = Atomic.make false in
+      let failure = Atomic.make None in
+      let positions = Atomic.make 1 (* the root position itself *) in
+      let hits_total = Atomic.make 0 in
+      let worker ~spawned () =
+        let poller =
+          if spawned then Budget.worker_poller budget else Budget.poller budget
+        in
+        let solve, explored, hits = searcher memo poller in
+        (try
+           let rec loop () =
+             if not (Atomic.get refuted) && not (Atomic.get stop) then begin
+               let i = Atomic.fetch_and_add next 1 in
+               if i < Array.length tasks then begin
+                 if not (tasks.(i) ~recurse:solve) then
+                   Atomic.set refuted true;
+                 loop ()
+               end
+             end
+           in
+           loop ()
+         with e ->
+           ignore (Atomic.compare_and_set failure None (Some e));
+           Atomic.set stop true);
+        ignore (Atomic.fetch_and_add positions !explored);
+        ignore (Atomic.fetch_and_add hits_total !hits)
+      in
+      let domains =
+        Array.init (w - 1) (fun _ -> Domain.spawn (worker ~spawned:true))
+      in
+      worker ~spawned:false ();
+      Array.iter Domain.join domains;
+      let positions = Atomic.get positions
+      and memo_hits = Atomic.get hits_total in
+      match Atomic.get failure with
+      | Some (Budget.Exhausted r) ->
+          finish (Error r) ~positions ~memo_hits ~workers:w
+      | Some e -> raise e
+      | None ->
+          finish
+            (Ok (not (Atomic.get refuted)))
+            ~positions ~memo_hits ~workers:w
+    end
+end

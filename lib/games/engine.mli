@@ -1,0 +1,110 @@
+(** Generic kernel for back-and-forth model-comparison games.
+
+    The paper's §3.2 presents Ehrenfeucht–Fraïssé, pebble and counting
+    games as one method with interchangeable move semantics; this module
+    is that method, as code. A game supplies its {e move semantics} — a
+    position type, a packed memo key, the expansion of a position into a
+    duplicator-survival value, and the decomposition of the root into
+    independent obligations — and the kernel supplies, exactly once:
+
+    - memoization under packed int-array keys ({!Packed}), with the
+      budget's memo cap honoured on insertion;
+    - a 64-way sharded, mutex-guarded shared memo for parallel runs
+      (single unlocked shard on the sequential path);
+    - a work-stealing [Domain.spawn] fan-out over the root obligations,
+      with parked-exception draining — the coordinator joins every
+      domain before re-raising, so no domain leaks and the shared memo
+      holds only completed entries;
+    - amortized budget polling (one {!Fmtk_runtime.Budget.check} per
+      position), turning deadlines, fuel, memory caps and cross-domain
+      cancellation into {!verdict}s rather than wrong answers;
+    - a {!stats} record aggregated atomically across workers.
+
+    {!Ef}, {!Pebble} and {!Counting_game} are the three instances. *)
+
+module Budget = Fmtk_runtime.Budget
+
+(** Kernel configuration, shared by every instance. [memo] caches
+    positions under their packed keys; [parallel] enables the root
+    fan-out when the game is big enough; [workers] overrides the
+    automatic worker count ([Some 1] forces the sequential path,
+    [Some k] forces a [k]-domain fan-out — tests use it to exercise the
+    parallel path deterministically). *)
+type config = { memo : bool; parallel : bool; workers : int option }
+
+val default_config : config
+
+(** Counters of one solve, returned on decided AND on gave-up runs.
+    [positions] is the number of distinct positions expanded (memo
+    misses); [memo_hits] the number of searches answered from the memo;
+    [workers] the domains actually used. In parallel runs the counters
+    are aggregated atomically across workers; position counts can vary
+    slightly run to run because workers race to expand the same
+    position. *)
+type stats = { positions : int; memo_hits : int; workers : int }
+
+(** Three-valued outcome of a budgeted solve. [Gave_up r] means the
+    budget ran out for reason [r] before the game was decided — never a
+    wrong answer, only an absent one. *)
+type verdict = Equivalent | Distinguished | Gave_up of Budget.reason
+
+(** The move semantics a game plugs into the kernel. *)
+module type GAME = sig
+  (** Everything fixed across one solve: the two structures, their
+      colour/orbit oracles, packing parameters. Shared read-only (or
+      internally synchronized) across workers. *)
+  type ctx
+
+  (** One game position. Must carry everything [expand] needs; the
+      kernel never inspects it beyond [key]/[terminal]. *)
+  type pos
+
+  (** Memo key of a position — by convention the round count followed by
+      the sorted packed pebble pairs (see {!Packed}). Positions with
+      equal keys must have equal game values. *)
+  val key : ctx -> pos -> Packed.Key.t
+
+  (** [Some v] when the position is decided without expansion (e.g. no
+      rounds left); such positions are neither memoized nor counted. *)
+  val terminal : ctx -> pos -> bool option
+
+  (** Duplicator-survival value of a non-terminal position. [recurse]
+      evaluates a child position through the kernel (memo, budget,
+      stats); the game must funnel every child through it. *)
+  val expand : ctx -> recurse:(pos -> bool) -> pos -> bool
+
+  (** Decomposition of the root position into independent obligations
+      whose conjunction is the root value — the units of the parallel
+      fan-out. Construction must be cheap and must not invoke [recurse];
+      each task is run with the claiming worker's own [recurse]. Games
+      whose root does not decompose (the counting game's bijection move)
+      return a singleton, which keeps the solve sequential. *)
+  val root_tasks : ctx -> pos -> (recurse:(pos -> bool) -> bool) list
+
+  (** Called once before domains are spawned: force lazily-built caches
+      (membership indexes) that workers would otherwise race to
+      initialize. *)
+  val prepare_shared : ctx -> unit
+end
+
+(** Worker-count policy, exposed for tests: 1 unless [parallel] and the
+    game is deep ([depth_hint >= 2]) and wide ([moves >= 12]) enough;
+    capped by [Domain.recommended_domain_count] and 8. An explicit
+    [workers = Some k] overrides everything (clamped to [moves]). *)
+val worker_count : config -> depth_hint:int -> moves:int -> int
+
+module Make (G : GAME) : sig
+  (** [solve_result ~config ~budget ~depth_hint ctx root] decides the
+      game from [root]: [Ok win] on a decided game, [Error reason] when
+      the budget ran out first. Stats are returned in both cases.
+      [depth_hint] (the round count) gates the parallel fan-out — a
+      0-depth game is never fanned out. Exceptions other than budget
+      exhaustion propagate (after every domain is joined). *)
+  val solve_result :
+    config:config ->
+    budget:Budget.t ->
+    depth_hint:int ->
+    G.ctx ->
+    G.pos ->
+    (bool, Budget.reason) result * stats
+end

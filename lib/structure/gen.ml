@@ -93,6 +93,37 @@ let random_structure ~rng sg n =
   in
   Structure.make sg ~size:n ~consts rels
 
+(* Cai–Fürer–Immerman twisting over a cycle base. Each base vertex v of
+   C_m becomes a fibre {a_v, b_v} (numbered 2v, 2v+1); each base edge
+   carries the fibres either in parallel (a–a, b–b) or crossed (a–b,
+   b–a). An even number of crossed edges is isomorphic to zero crossings
+   (flip one fibre to uncross a pair), an odd number to exactly one — so
+   there are two isomorphism classes: untwisted ≅ C_m ⊎ C_m and twisted
+   ≅ C_2m. Both are 2-regular on the same vertex count, hence
+   indistinguishable by colour refinement (1-WL, equivalently C^2), yet
+   distinguished by 2-WL / C^3, which can count the vertices reachable
+   along paths — the paper's "counting logics see more" separation made
+   executable. *)
+let cfi_pair m =
+  if m < 3 then invalid_arg "Gen.cfi_pair: need m >= 3";
+  let build ~twist =
+    let tuples = ref [] in
+    let add u v = tuples := [| u; v |] :: [| v; u |] :: !tuples in
+    for v = 0 to m - 1 do
+      let w = (v + 1) mod m in
+      if twist && v = m - 1 then begin
+        add (2 * v) ((2 * w) + 1);
+        add ((2 * v) + 1) (2 * w)
+      end
+      else begin
+        add (2 * v) (2 * w);
+        add ((2 * v) + 1) ((2 * w) + 1)
+      end
+    done;
+    Structure.make Signature.graph ~size:(2 * m) [ ("E", !tuples) ]
+  in
+  (build ~twist:false, build ~twist:true)
+
 let bounded_degree_graph ~rng n d =
   if d < 0 then invalid_arg "Gen.bounded_degree_graph: negative bound";
   let deg = Array.make n 0 in

@@ -50,3 +50,13 @@ val random_undirected_graph : rng:Random.State.t -> int -> float -> Structure.t
 (** [bounded_degree_graph ~rng n d] generates a random undirected graph with
     every degree ≤ [d] (greedy matching-style sampling). *)
 val bounded_degree_graph : rng:Random.State.t -> int -> int -> Structure.t
+
+(** [cfi_pair m] (m ≥ 3) is a Cai–Fürer–Immerman pair over the base
+    cycle [C_m]: [(untwisted, twisted)], where each base vertex becomes
+    a two-vertex fibre and the twisted variant crosses exactly one base
+    edge's fibre connections. Untwisted ≅ [C_m ⊎ C_m], twisted ≅ [C_2m]:
+    non-isomorphic 2-regular graphs on [2m] vertices that colour
+    refinement (1-WL / C^2) cannot tell apart but 2-WL / C^3 — and the
+    3-pebble bijective counting game ({!Fmtk_games.Counting_game}) —
+    distinguishes. *)
+val cfi_pair : int -> Structure.t * Structure.t

@@ -104,132 +104,13 @@ let extension_ok a b pairs (x, y) =
 
 (* ---- Colour refinement ---- *)
 
-(* Gaifman adjacency lists: elements are adjacent when they co-occur in a
-   tuple. *)
-let gaifman_adj t =
-  let n = Structure.size t in
-  let adj = Array.make n [] in
-  let add u v = if u <> v && not (List.mem v adj.(u)) then adj.(u) <- v :: adj.(u) in
-  List.iter
-    (fun (name, _) ->
-      Tuple.Set.iter
-        (fun tup ->
-          Array.iter (fun u -> Array.iter (fun v -> add u v) tup) tup)
-        (Structure.rel t name))
-    (Signature.rels (Structure.signature t));
-  adj
-
-(* Initial colour of an element: per-relation per-position occurrence counts
-   plus the set of constants naming it. *)
-let initial_color_strings t =
-  let n = Structure.size t in
-  let sg = Structure.signature t in
-  let buf = Array.init n (fun _ -> Buffer.create 32) in
-  List.iter
-    (fun (name, k) ->
-      let counts = Array.make_matrix n k 0 in
-      Tuple.Set.iter
-        (fun tup ->
-          Array.iteri (fun i e -> counts.(e).(i) <- counts.(e).(i) + 1) tup)
-        (Structure.rel t name);
-      for e = 0 to n - 1 do
-        Buffer.add_string buf.(e) name;
-        Array.iter
-          (fun c -> Buffer.add_string buf.(e) (Printf.sprintf ":%d" c))
-          counts.(e);
-        Buffer.add_char buf.(e) ';'
-      done)
-    (Signature.rels sg);
-  List.iter
-    (fun cname ->
-      let e = Structure.const t cname in
-      Buffer.add_string buf.(e) ("@" ^ cname))
-    (Signature.consts sg);
-  Array.map Buffer.contents buf
-
-(* Shared refinement loop: iterate colour refinement over an adjacency
-   array from given initial colour strings until the number of colour
-   classes stops growing. *)
-let wl_refine adj init =
-  let intern strings =
-    let table = Hashtbl.create 64 in
-    let next = ref 0 in
-    Array.map
-      (fun s ->
-        match Hashtbl.find_opt table s with
-        | Some c -> c
-        | None ->
-            let c = !next in
-            incr next;
-            Hashtbl.add table s c;
-            c)
-      strings
-  in
-  let colors = ref (intern init) in
-  let distinct arr =
-    let seen = Hashtbl.create 64 in
-    Array.iter (fun c -> Hashtbl.replace seen c ()) arr;
-    Hashtbl.length seen
-  in
-  let rec refine count =
-    let cur = !colors in
-    let strings =
-      Array.mapi
-        (fun i _ ->
-          let neigh = List.sort Int.compare (List.map (fun j -> cur.(j)) adj.(i)) in
-          Printf.sprintf "%d|%s" cur.(i)
-            (String.concat "," (List.map string_of_int neigh)))
-        cur
-    in
-    let next = intern strings in
-    let count' = distinct next in
-    colors := next;
-    if count' > count then refine count'
-  in
-  refine (distinct !colors);
-  !colors
-
-let wl_colors a b =
-  let na = Structure.size a and nb = Structure.size b in
-  let adj_a = gaifman_adj a and adj_b = gaifman_adj b in
-  (* Combined node space: a-nodes first, then b-nodes. *)
-  let adj =
-    Array.init (na + nb) (fun i ->
-        if i < na then adj_a.(i) else List.map (fun v -> v + na) adj_b.(i - na))
-  in
-  let init =
-    Array.append (initial_color_strings a) (initial_color_strings b)
-  in
-  let final = wl_refine adj init in
-  (Array.sub final 0 na, Array.sub final na nb)
-
-let wl_colors1 t = wl_refine (gaifman_adj t) (initial_color_strings t)
-
-(* Content-canonical colour labels: unlike the interned ids of [wl_colors]
-   (whose numbering depends on element order and is only comparable within
-   one joint run), these digests depend solely on the refinement content,
-   so isomorphic structures of equal size get identical label multisets.
-   Refinement runs [size] rounds — an upper bound for stabilization — so
-   equal-size structures are always compared at the same round. *)
-let canonical_colors t =
-  let n = Structure.size t in
-  let adj = gaifman_adj t in
-  let labels = ref (Array.map Digest.string (initial_color_strings t)) in
-  for _ = 1 to n do
-    let cur = !labels in
-    labels :=
-      Array.mapi
-        (fun i own ->
-          let neigh =
-            List.sort String.compare (List.map (fun j -> cur.(j)) adj.(i))
-          in
-          Digest.string (String.concat "|" (own :: neigh)))
-        cur
-  done;
-  !labels
+(* The refinement machinery lives in [Wl] (shared with the k-dimensional
+   variant and the game solvers); these are compatibility aliases. *)
+let wl_colors = Wl.colors_joint
+let wl_colors1 = Wl.colors1
 
 let invariant_key t =
-  let self = canonical_colors t in
+  let self = Wl.canonical_colors t in
   let sorted = Array.to_list self |> List.sort String.compare in
   let sg = Structure.signature t in
   let rel_counts =

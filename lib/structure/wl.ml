@@ -1,0 +1,276 @@
+(* Weisfeiler–Leman colour refinement, in one place.
+
+   This module owns every colour-refinement computation of the toolbox:
+   the classic 1-dimensional refinement (formerly private copies inside
+   [Iso] and [Decide]) and the k-dimensional generalisation on k-tuples
+   that is the closed-form companion of the bijective counting game
+   ({!Fmtk_games.Counting_game}).
+
+   Power (Cai–Fürer–Immerman): k-WL equivalence coincides with
+   agreement on C^{k+1}, first-order logic with counting quantifiers
+   restricted to k+1 variables. In particular 1-WL = C^2 and
+   2-WL = C^3. The CFI construction ({!Gen.cfi_pair}) witnesses that
+   the hierarchy is strict. *)
+
+module Signature = Fmtk_logic.Signature
+module Budget = Fmtk_runtime.Budget
+
+(* ---- 1-WL: colour refinement over the Gaifman graph ---- *)
+
+(* Gaifman adjacency lists: elements are adjacent when they co-occur in a
+   tuple. *)
+let gaifman_adj t =
+  let n = Structure.size t in
+  let adj = Array.make n [] in
+  let add u v =
+    if u <> v && not (List.mem v adj.(u)) then adj.(u) <- v :: adj.(u)
+  in
+  List.iter
+    (fun (name, _) ->
+      Tuple.Set.iter
+        (fun tup ->
+          Array.iter (fun u -> Array.iter (fun v -> add u v) tup) tup)
+        (Structure.rel t name))
+    (Signature.rels (Structure.signature t));
+  adj
+
+(* Initial colour of an element: per-relation per-position occurrence counts
+   plus the set of constants naming it. *)
+let initial_color_strings t =
+  let n = Structure.size t in
+  let sg = Structure.signature t in
+  let buf = Array.init n (fun _ -> Buffer.create 32) in
+  List.iter
+    (fun (name, k) ->
+      let counts = Array.make_matrix n k 0 in
+      Tuple.Set.iter
+        (fun tup ->
+          Array.iteri (fun i e -> counts.(e).(i) <- counts.(e).(i) + 1) tup)
+        (Structure.rel t name);
+      for e = 0 to n - 1 do
+        Buffer.add_string buf.(e) name;
+        Array.iter
+          (fun c -> Buffer.add_string buf.(e) (Printf.sprintf ":%d" c))
+          counts.(e);
+        Buffer.add_char buf.(e) ';'
+      done)
+    (Signature.rels sg);
+  List.iter
+    (fun cname ->
+      let e = Structure.const t cname in
+      Buffer.add_string buf.(e) ("@" ^ cname))
+    (Signature.consts sg);
+  Array.map Buffer.contents buf
+
+let make_interner () =
+  let table = Hashtbl.create 64 in
+  let next = ref 0 in
+  fun s ->
+    match Hashtbl.find_opt table s with
+    | Some c -> c
+    | None ->
+        let c = !next in
+        incr next;
+        Hashtbl.add table s c;
+        c
+
+let distinct arr =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun c -> Hashtbl.replace seen c ()) arr;
+  Hashtbl.length seen
+
+(* Shared refinement loop: iterate colour refinement over an adjacency
+   array from given initial colour strings until the number of colour
+   classes stops growing. *)
+let refine_loop adj init =
+  let intern strings =
+    let f = make_interner () in
+    Array.map f strings
+  in
+  let colors = ref (intern init) in
+  let rec refine count =
+    let cur = !colors in
+    let strings =
+      Array.mapi
+        (fun i _ ->
+          let neigh =
+            List.sort Int.compare (List.map (fun j -> cur.(j)) adj.(i))
+          in
+          Printf.sprintf "%d|%s" cur.(i)
+            (String.concat "," (List.map string_of_int neigh)))
+        cur
+    in
+    let next = intern strings in
+    let count' = distinct next in
+    colors := next;
+    if count' > count then refine count'
+  in
+  refine (distinct !colors);
+  !colors
+
+let colors_joint a b =
+  let na = Structure.size a and nb = Structure.size b in
+  let adj_a = gaifman_adj a and adj_b = gaifman_adj b in
+  (* Combined node space: a-nodes first, then b-nodes. *)
+  let adj =
+    Array.init (na + nb) (fun i ->
+        if i < na then adj_a.(i) else List.map (fun v -> v + na) adj_b.(i - na))
+  in
+  let init =
+    Array.append (initial_color_strings a) (initial_color_strings b)
+  in
+  let final = refine_loop adj init in
+  (Array.sub final 0 na, Array.sub final na nb)
+
+let colors1 t = refine_loop (gaifman_adj t) (initial_color_strings t)
+
+let census_pair (ca, cb) =
+  let sorted arr = List.sort Int.compare (Array.to_list arr) in
+  sorted ca = sorted cb
+
+let census_equal1 a b = census_pair (colors_joint a b)
+
+(* Content-canonical colour labels: unlike the interned ids of
+   [colors_joint] (whose numbering depends on element order and is only
+   comparable within one joint run), these digests depend solely on the
+   refinement content, so isomorphic structures of equal size get
+   identical label multisets. Refinement runs [size] rounds — an upper
+   bound for stabilization — so equal-size structures are always
+   compared at the same round. *)
+let canonical_colors t =
+  let n = Structure.size t in
+  let adj = gaifman_adj t in
+  let labels = ref (Array.map Digest.string (initial_color_strings t)) in
+  for _ = 1 to n do
+    let cur = !labels in
+    labels :=
+      Array.mapi
+        (fun i own ->
+          let neigh =
+            List.sort String.compare (List.map (fun j -> cur.(j)) adj.(i))
+          in
+          Digest.string (String.concat "|" (own :: neigh)))
+        cur
+  done;
+  !labels
+
+(* ---- k-WL: refinement on k-tuples ---- *)
+
+(* Tuples of one structure are numbered in base n: the tuple
+   (v_0, .., v_{k-1}) has id Σ v_i · n^(k-1-i). Substituting element [w]
+   at position [i] moves the id by (w - v_i) · n^(k-1-i), so the
+   refinement loop never materialises tuples. *)
+
+let pow n k =
+  let rec go acc k = if k = 0 then acc else go (acc * n) (k - 1) in
+  go 1 k
+
+(* Atomic type of the ordered tuple [tup] in [t]: the equality pattern,
+   every relation probed at every position map, and constant hits. Two
+   tuples get equal strings iff the map v_i ↦ w_i is a partial
+   isomorphism between their induced ordered substructures. *)
+let atomic_type t tup =
+  let k = Array.length tup in
+  let buf = Buffer.create 64 in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      Buffer.add_char buf (if tup.(i) = tup.(j) then '=' else '.')
+    done
+  done;
+  let sg = Structure.signature t in
+  List.iter
+    (fun (name, r) ->
+      Buffer.add_string buf name;
+      let sel = Array.make (max r 1) 0 in
+      let args = Array.make r 0 in
+      let rec go i =
+        if i = r then begin
+          for j = 0 to r - 1 do
+            args.(j) <- tup.(sel.(j))
+          done;
+          Buffer.add_char buf (if Structure.probe t name args then '1' else '0')
+        end
+        else
+          for p = 0 to k - 1 do
+            sel.(i) <- p;
+            go (i + 1)
+          done
+      in
+      go 0;
+      Buffer.add_char buf ';')
+    (Signature.rels sg);
+  List.iter
+    (fun c ->
+      let e = Structure.const t c in
+      Buffer.add_char buf '@';
+      Array.iter (fun v -> Buffer.add_char buf (if v = e then '1' else '0')) tup)
+    (List.sort String.compare (Signature.consts sg));
+  Buffer.contents buf
+
+let colors_k ?(budget = Budget.unlimited) ~k a b =
+  if k < 1 then invalid_arg "Wl.colors_k: dimension must be >= 1";
+  if k = 1 then colors_joint a b
+  else begin
+    let poller = Budget.poller budget in
+    let na = Structure.size a and nb = Structure.size b in
+    let ta = pow na k and tb = pow nb k in
+    let decode n id =
+      let tup = Array.make k 0 in
+      let rest = ref id in
+      for i = k - 1 downto 0 do
+        tup.(i) <- !rest mod n;
+        rest := !rest / n
+      done;
+      tup
+    in
+    (* Initial colours: interned atomic types, joint numbering. *)
+    let init t n count =
+      Array.init count (fun id ->
+          Budget.check poller;
+          atomic_type t (decode n id))
+    in
+    let intern = make_interner () in
+    let ca = ref (Array.map intern (init a na ta))
+    and cb = ref (Array.map intern (init b nb tb)) in
+    let distinct2 ca cb =
+      let seen = Hashtbl.create 64 in
+      Array.iter (fun c -> Hashtbl.replace seen c ()) ca;
+      Array.iter (fun c -> Hashtbl.replace seen c ()) cb;
+      Hashtbl.length seen
+    in
+    (* One refinement round in one structure: the new colour of a tuple
+       is its old colour plus the sorted multiset, over all elements w,
+       of the k-vector of colours of the tuples with w substituted at
+       each position. *)
+    let step n count cur =
+      let pows = Array.init k (fun i -> pow n (k - 1 - i)) in
+      Array.init count (fun id ->
+          Budget.check poller;
+          let tup = decode n id in
+          let subs =
+            List.init n (fun w ->
+                let parts =
+                  Array.to_list
+                    (Array.init k (fun i ->
+                         string_of_int
+                           cur.(id + ((w - tup.(i)) * pows.(i)))))
+                in
+                String.concat "." parts)
+          in
+          Printf.sprintf "%d|%s" cur.(id)
+            (String.concat "," (List.sort String.compare subs)))
+    in
+    let rec refine count =
+      let intern = make_interner () in
+      let sa = step na ta !ca and sb = step nb tb !cb in
+      let next_a = Array.map intern sa and next_b = Array.map intern sb in
+      let count' = distinct2 next_a next_b in
+      ca := next_a;
+      cb := next_b;
+      if count' > count then refine count'
+    in
+    refine (distinct2 !ca !cb);
+    (!ca, !cb)
+  end
+
+let equiv ?budget ~k a b = census_pair (colors_k ?budget ~k a b)

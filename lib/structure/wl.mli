@@ -1,0 +1,57 @@
+(** Weisfeiler–Leman colour refinement — the toolbox's single refinement
+    layer.
+
+    The 1-dimensional algorithm (classic colour refinement over the
+    Gaifman graph) previously lived as private copies inside {!Iso} and
+    [Fmtk.Decide]; both now call this module. The k-dimensional
+    generalisation refines colours of k-tuples and is the closed-form
+    companion of the bijective counting game
+    ([Fmtk_games.Counting_game]): by Cai–Fürer–Immerman, k-WL
+    equivalence coincides with agreement on C^{k+1} (first-order logic
+    with counting quantifiers, k+1 variables). In particular 1-WL = C^2
+    and 2-WL = C^3, and {!Gen.cfi_pair} generates witnesses separating
+    the levels. *)
+
+(** Colour refinement of a single structure. The interned colour ids are
+    only comparable within the returned array. Constants individualize
+    their elements, so a structure whose refinement is discrete (all
+    colours distinct) is rigid — the fast path of {!Orbit}. *)
+val colors1 : Structure.t -> int array
+
+(** Colour refinement of two structures computed jointly, so colours are
+    comparable across them. *)
+val colors_joint : Structure.t -> Structure.t -> int array * int array
+
+(** [census_equal1 a b]: the joint 1-WL colour censuses (multisets of
+    colours) coincide. A mismatch certifies FO-distinguishability on
+    finite structures — counting colour-class sizes is FO-expressible —
+    which is how [Fmtk.Decide]'s degradation ladder uses it. *)
+val census_equal1 : Structure.t -> Structure.t -> bool
+
+(** Content-canonical colour labels: unlike the interned ids of
+    {!colors_joint}, these digests depend solely on refinement content,
+    so isomorphic structures of equal size get identical label
+    multisets. Used by {!Iso.invariant_key}. *)
+val canonical_colors : Structure.t -> Digest.t array
+
+(** [colors_k ~k a b] — joint k-dimensional WL. For [k = 1] this is
+    {!colors_joint}; for [k >= 2] the returned arrays colour the [n^k]
+    k-tuples of each structure (tuple [(v_0, .., v_{k-1})] at index
+    [Σ v_i · n^(k-1-i)]), refined jointly to stabilization. The budget
+    is polled once per tuple per round.
+    @raise Invalid_argument if [k < 1].
+    @raise Fmtk_runtime.Budget.Exhausted when the (default unlimited)
+    budget runs out before stabilization. *)
+val colors_k :
+  ?budget:Fmtk_runtime.Budget.t ->
+  k:int ->
+  Structure.t ->
+  Structure.t ->
+  int array * int array
+
+(** [equiv ~k a b]: the joint k-WL colour censuses coincide, i.e. the
+    structures are not distinguished by k-WL — equivalently, they agree
+    on C^{k+1}. Sound and complete for C^{k+1}-equivalence; sound but
+    incomplete for isomorphism and for elementary equivalence. *)
+val equiv :
+  ?budget:Fmtk_runtime.Budget.t -> k:int -> Structure.t -> Structure.t -> bool

@@ -1,0 +1,342 @@
+(* Differential tests for the generic game kernel (Fmtk_games.Engine)
+   and its three instances.
+
+   The EF and pebble solvers were ported from hand-rolled loops onto the
+   kernel; the oracles below are deliberately naive re-implementations
+   of the pre-refactor semantics (plain recursion, no memo, no orbits,
+   no parallelism), so any divergence introduced by the kernel — memo
+   keys, orbit pruning, the work-stealing fan-out — shows up as a
+   verdict flip on random structure pairs. The counting game is checked
+   against its closed-form companion (k-WL / C^{k+1}) through the sound
+   one-directional implications, and against the Cai–Fürer–Immerman
+   separation witnesses. *)
+
+module Signature = Fmtk_logic.Signature
+module Structure = Fmtk_structure.Structure
+module Gen = Fmtk_structure.Gen
+module Iso = Fmtk_structure.Iso
+module Wl = Fmtk_structure.Wl
+module Graph = Fmtk_structure.Graph
+module Engine = Fmtk_games.Engine
+module Ef = Fmtk_games.Ef
+module Pebble = Fmtk_games.Pebble
+module Counting_game = Fmtk_games.Counting_game
+module Budget = Fmtk_runtime.Budget
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+
+(* ---------- Oracles: pre-refactor game semantics, naively ---------- *)
+
+let oracle_ef ~rounds a b =
+  let dom_a = Structure.domain a and dom_b = Structure.domain b in
+  let rec win n pairs =
+    n = 0
+    || (List.for_all
+          (fun x ->
+            List.exists
+              (fun y ->
+                Iso.extension_ok a b pairs (x, y) && win (n - 1) ((x, y) :: pairs))
+              dom_b)
+          dom_a
+       && List.for_all
+            (fun y ->
+              List.exists
+                (fun x ->
+                  Iso.extension_ok a b pairs (x, y)
+                  && win (n - 1) ((x, y) :: pairs))
+                dom_a)
+            dom_b)
+  in
+  Iso.partial_iso a b [] && win rounds []
+
+let oracle_pebble ~pebbles ~rounds a b =
+  let dom_a = Structure.domain a and dom_b = Structure.domain b in
+  (* Positions as sorted pair lists (set semantics). *)
+  let rec lift = function
+    | [] -> []
+    | p :: rest -> rest :: List.map (fun l -> p :: l) (lift rest)
+  in
+  let rec win n pairs =
+    n = 0
+    || begin
+         let bases =
+           if List.length pairs < pebbles then pairs :: lift pairs
+           else lift pairs
+         in
+         let bases = if bases = [] then [ [] ] else bases in
+         List.for_all
+           (fun base ->
+             List.for_all
+               (fun x ->
+                 List.exists
+                   (fun y ->
+                     Iso.extension_ok a b base (x, y)
+                     && win (n - 1)
+                          (List.sort_uniq compare ((x, y) :: base)))
+                   dom_b)
+               dom_a
+             && List.for_all
+                  (fun y ->
+                    List.exists
+                      (fun x ->
+                        Iso.extension_ok a b base (x, y)
+                        && win (n - 1)
+                             (List.sort_uniq compare ((x, y) :: base)))
+                      dom_a)
+                  dom_b)
+           bases
+       end
+  in
+  Iso.partial_iso a b [] && win rounds []
+
+(* ---------- Random structure pairs ---------- *)
+
+let gen_structure : Structure.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let named =
+    let* n = int_range 2 5 in
+    oneofl
+      [ Gen.cycle n; Gen.set n; Gen.linear_order n; Gen.path n;
+        Gen.complete n ]
+  in
+  let random =
+    let* n = int_range 2 5 in
+    let* edges =
+      list_size (int_range 0 (n * 2))
+        (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return
+      (Structure.make Signature.graph ~size:n
+         [ ("E", List.map (fun (u, v) -> [| u; v |]) edges) ])
+  in
+  oneof [ named; random; random ]
+
+(* Pairs biased toward near-equivalence: comparing a structure against
+   itself or a same-family sibling exercises the Equivalent branch,
+   which pruning bugs affect most. *)
+let gen_pair =
+  let open QCheck2.Gen in
+  let* a = gen_structure in
+  let* b = oneof [ gen_structure; return a ] in
+  return (a, b)
+
+(* ---------- Engine-ported solvers agree with the oracles ---------- *)
+
+let ef_configs =
+  [
+    ("default", Ef.default_config);
+    ("no-memo", { Ef.default_config with memo = false });
+    ("no-orbit", { Ef.default_config with orbit = false });
+    ("forced-parallel", { Ef.default_config with workers = Some 3 });
+    ( "bare",
+      { Ef.memo = false; parallel = false; workers = None; orbit = false } );
+  ]
+
+let prop_ef_matches_oracle =
+  QCheck2.Test.make ~count:320 ~name:"engine EF = oracle EF (all configs)"
+    QCheck2.Gen.(pair gen_pair (int_range 0 3))
+    (fun ((a, b), rounds) ->
+      let expected = oracle_ef ~rounds a b in
+      List.for_all
+        (fun (name, config) ->
+          let got, (stats : Ef.stats) = Ef.solve ~config ~rounds a b in
+          if got <> expected then
+            QCheck2.Test.fail_reportf "EF config %s: got %b, oracle %b" name
+              got expected
+          else stats.workers >= 1)
+        ef_configs)
+
+let pebble_configs =
+  [
+    ("default", Pebble.default_config);
+    ("no-memo", { Pebble.default_config with memo = false });
+    ("no-orbit", { Pebble.default_config with orbit = false });
+    ("forced-parallel", { Pebble.default_config with workers = Some 3 });
+  ]
+
+let prop_pebble_matches_oracle =
+  QCheck2.Test.make ~count:320
+    ~name:"engine pebble = oracle pebble (all configs)"
+    QCheck2.Gen.(pair gen_pair (pair (int_range 1 3) (int_range 0 3)))
+    (fun ((a, b), (pebbles, rounds)) ->
+      let expected = oracle_pebble ~pebbles ~rounds a b in
+      List.for_all
+        (fun (name, config) ->
+          let got, (_ : Pebble.stats) =
+            Pebble.solve ~config ~pebbles ~rounds a b
+          in
+          if got <> expected then
+            QCheck2.Test.fail_reportf "pebble config %s: got %b, oracle %b"
+              name got expected
+          else true)
+        pebble_configs)
+
+(* ---------- Counting game vs k-WL (sound implications only) ---------- *)
+
+(* Unbounded-rank C^k equivalence is exactly (k-1)-WL equivalence, so:
+   - the k-pebble counting game distinguishing at ANY rank implies
+     (k-1)-WL distinguishes (contrapositive: (k-1)-WL-equivalent pairs
+     are game-equivalent at every rank);
+   - the game is monotone in rank.
+   Both directions of the rank-by-rank correspondence would need a rank
+   bound we don't have in closed form, so only these sound one-way
+   checks are asserted — they are exactly what makes the game usable as
+   a certificate. *)
+let prop_counting_vs_kwl =
+  QCheck2.Test.make ~count:120 ~name:"counting game vs k-WL implications"
+    QCheck2.Gen.(pair gen_pair (int_range 2 3))
+    (fun ((a, b), k) ->
+      let wl_equiv = Wl.equiv ~k:(k - 1) a b in
+      let game r = Counting_game.duplicator_wins ~pebbles:k ~rounds:r a b in
+      let g1 = game 1 and g2 = game 2 and g3 = game 3 in
+      (* Rank monotonicity: a spoiler win survives extra rounds. *)
+      if (not g1) && (g2 || g3) then
+        QCheck2.Test.fail_reportf "rank monotonicity broken (k=%d)" k
+      else if (not g2) && g3 then
+        QCheck2.Test.fail_reportf "rank monotonicity broken at 2->3 (k=%d)" k
+      else if wl_equiv && not (g1 && g2 && g3) then
+        QCheck2.Test.fail_reportf
+          "%d-WL equivalent but C^%d game distinguishes" (k - 1) k
+      else true)
+
+(* The bijective 1-pebble game just compares colour-census-free
+   cardinalities each round; sanity-check it against bare sets. *)
+let test_counting_sets () =
+  checkb "equal sets equivalent" true
+    (Counting_game.duplicator_wins ~pebbles:1 ~rounds:5 (Gen.set 4)
+       (Gen.set 4));
+  checkb "different sizes distinguished at rank 1" false
+    (Counting_game.duplicator_wins ~pebbles:1 ~rounds:1 (Gen.set 3)
+       (Gen.set 4));
+  checkb "rank 0 cannot count" true
+    (Counting_game.duplicator_wins ~pebbles:2 ~rounds:0 (Gen.set 3)
+       (Gen.set 4))
+
+(* C_6 vs C_3 ⊎ C_3: the classic C^2/C^3 separation. The counting game
+   with 2 pebbles never distinguishes them (they are C^2-equivalent);
+   with 3 pebbles it does at small rank. *)
+let test_counting_cycles () =
+  let a = Gen.cycle 6 and b = Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ] in
+  checkb "C6 vs C3+C3: 2-pebble counting game blind" true
+    (Counting_game.duplicator_wins ~pebbles:2 ~rounds:4 a b);
+  checkb "C6 vs C3+C3: 3-pebble counting game sees" false
+    (Counting_game.duplicator_wins ~pebbles:3 ~rounds:6 a b);
+  checkb "1-WL blind on the pair" true (Wl.equiv ~k:1 a b);
+  checkb "2-WL sees the pair" false (Wl.equiv ~k:2 a b)
+
+(* ---------- CFI pairs: the certificate bench E26 regenerates ---------- *)
+
+let test_cfi_certificate () =
+  List.iter
+    (fun m ->
+      let u, t = Gen.cfi_pair m in
+      checkb
+        (Printf.sprintf "cfi m=%d: same size" m)
+        true
+        (Structure.size u = Structure.size t);
+      checkb
+        (Printf.sprintf "cfi m=%d: non-isomorphic" m)
+        false (Iso.isomorphic u t);
+      (* Untwisted ≅ C_m ⊎ C_m, twisted ≅ C_2m. *)
+      checkb
+        (Printf.sprintf "cfi m=%d: component counts 2 vs 1" m)
+        true
+        (Graph.component_count u = 2 && Graph.component_count t = 1);
+      checkb
+        (Printf.sprintf "cfi m=%d: 1-WL blind" m)
+        true (Wl.equiv ~k:1 u t);
+      checkb
+        (Printf.sprintf "cfi m=%d: 2-WL sees" m)
+        false (Wl.equiv ~k:2 u t))
+    [ 3; 4; 5 ];
+  (* Game-level certificate on the smallest pair: C^2 blind at every
+     tested rank, C^3 distinguishes. *)
+  let u, t = Gen.cfi_pair 3 in
+  checkb "cfi m=3: 2-pebble counting game blind" true
+    (Counting_game.duplicator_wins ~pebbles:2 ~rounds:4 u t);
+  checkb "cfi m=3: 3-pebble counting game sees" false
+    (Counting_game.duplicator_wins ~pebbles:3 ~rounds:8 u t)
+
+(* ---------- Budgets never flip verdicts ---------- *)
+
+let prop_budget_never_flips =
+  QCheck2.Test.make ~count:80 ~name:"budgeted runs never flip a verdict"
+    QCheck2.Gen.(pair gen_pair (int_range 1 50))
+    (fun ((a, b), fuel) ->
+      let reference = oracle_ef ~rounds:3 a b in
+      let budget = Budget.create ~fuel ~poll_interval:1 () in
+      (match Ef.solve_verdict ~budget ~rounds:3 a b with
+      | Ef.Equivalent, _ ->
+          if not reference then QCheck2.Test.fail_report "EF flipped to equiv"
+      | Ef.Distinguished, _ ->
+          if reference then QCheck2.Test.fail_report "EF flipped to dist"
+      | Ef.Gave_up _, _ -> ());
+      let budget = Budget.create ~fuel ~poll_interval:1 () in
+      (match Counting_game.solve_verdict ~budget ~pebbles:2 ~rounds:2 a b with
+      | Counting_game.Equivalent, _ ->
+          if not (Counting_game.duplicator_wins ~pebbles:2 ~rounds:2 a b) then
+            QCheck2.Test.fail_report "counting game flipped to equiv"
+      | Counting_game.Distinguished, _ ->
+          if Counting_game.duplicator_wins ~pebbles:2 ~rounds:2 a b then
+            QCheck2.Test.fail_report "counting game flipped to dist"
+      | Counting_game.Gave_up _, _ -> ());
+      true)
+
+(* ---------- API parity across the engine instances ---------- *)
+
+(* The stats and verdict types of all three instances are equations with
+   the kernel's — interchangeable at compile time. *)
+let _ : Pebble.verdict -> Ef.verdict = Fun.id
+let _ : Counting_game.verdict -> Engine.verdict = Fun.id
+let _ : Pebble.stats -> Ef.stats = Fun.id
+let _ : Counting_game.stats -> Engine.stats = Fun.id
+
+let test_api_parity () =
+  (* Pebble exposes the same budgeted-verdict surface as Ef and reports
+     worker counts the same way. *)
+  let a = Gen.cycle 5 and b = Gen.cycle 6 in
+  let v_ef, (s_ef : Ef.stats) = Ef.solve_verdict ~rounds:2 a b in
+  let v_pb, (s_pb : Pebble.stats) =
+    Pebble.solve_verdict ~pebbles:2 ~rounds:2 a b
+  in
+  checkb "both decided" true
+    ((match v_ef with Ef.Gave_up _ -> false | _ -> true)
+    && match v_pb with Pebble.Gave_up _ -> false | _ -> true);
+  checkb "stats populated" true (s_ef.workers >= 1 && s_pb.workers >= 1);
+  (* A forced multi-worker pebble solve agrees with the sequential one. *)
+  let big = Gen.union_of [ Gen.path 3; Gen.path 3 ] in
+  let seq =
+    Pebble.duplicator_wins
+      ~config:{ Pebble.default_config with workers = Some 1 }
+      ~pebbles:2 ~rounds:3 big (Gen.path 6)
+  in
+  let par =
+    Pebble.duplicator_wins
+      ~config:{ Pebble.default_config with workers = Some 4 }
+      ~pebbles:2 ~rounds:3 big (Gen.path 6)
+  in
+  checkb "pebble parallel = sequential" seq par;
+  (* The kernel's worker policy is shared: forcing workers overrides. *)
+  checkb "worker_count honours override" true
+    (Engine.worker_count
+       { Engine.default_config with workers = Some 5 }
+       ~depth_hint:1 ~moves:10
+    = 5)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "fmtk_engine"
+    [
+      ( "differential",
+        qsuite [ prop_ef_matches_oracle; prop_pebble_matches_oracle ] );
+      ( "counting",
+        qsuite [ prop_counting_vs_kwl ]
+        @ [
+            Alcotest.test_case "sets" `Quick test_counting_sets;
+            Alcotest.test_case "cycles" `Quick test_counting_cycles;
+          ] );
+      ("cfi", [ Alcotest.test_case "certificate" `Quick test_cfi_certificate ]);
+      ("budget", qsuite [ prop_budget_never_flips ]);
+      ("parity", [ Alcotest.test_case "api" `Quick test_api_parity ]);
+    ]

@@ -191,7 +191,7 @@ let test_pebble_differential () =
     let b = if Random.State.bool rng then a else random_structure rng in
     let k = 2 + Random.State.int rng 1 in
     let rounds = 3 in
-    let cfg orbit = { Pebble.memo = true; orbit } in
+    let cfg orbit = { Pebble.default_config with orbit } in
     checkb "pebble orbit-pruned = unpruned"
       (Pebble.duplicator_wins ~config:(cfg false) ~pebbles:k ~rounds a b)
       (Pebble.duplicator_wins ~config:(cfg true) ~pebbles:k ~rounds a b)

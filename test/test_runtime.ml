@@ -336,8 +336,9 @@ let test_decide_reports_method () =
     (o.Decide.verdict = Decide.Distinguishable);
   checkb "certificate names its method" true
     (match o.Decide.answered_by with
-    | Some (Decide.Degree_sequence | Decide.Wl_refinement | Decide.Hanf_locality)
-      ->
+    | Some
+        ( Decide.Kwl_refinement | Decide.Degree_sequence
+        | Decide.Wl_refinement | Decide.Hanf_locality ) ->
         true
     | _ -> false);
   (* Identical structures under a starved budget: no certificate can
@@ -347,14 +348,27 @@ let test_decide_reports_method () =
   (match o.Decide.verdict with
   | Decide.Gave_up _ | Decide.Equivalent -> ()
   | _ -> Alcotest.fail "identical structures separated");
-  (* Hanf locality certifies Equivalent at the sound radius: one
-     12-cycle vs two 6-cycles have identical radius-1 censuses (every
-     vertex sees a 3-path), so rank-1 equivalence follows even though
-     the budget is too small for the game search. *)
+  (* The 2-WL rung catches cycle-cover pairs the older certificates were
+     blind to: one 12-cycle vs two 6-cycles match on degrees and 1-WL
+     censuses, but C^3 counts paths and separates them. *)
   let budget = Budget.create ~fuel:1 ~poll_interval:1 () in
   let o =
-    Decide.equiv ~budget ~rank:1 (Gen.cycle 12)
+    Decide.equiv ~budget ~rank:3 (Gen.cycle 12)
       (Gen.union_of [ Gen.cycle 6; Gen.cycle 6 ])
+  in
+  checkb "2-WL rung separates cycle covers" true
+    (o.Decide.verdict = Decide.Distinguishable
+    && o.Decide.answered_by = Some Decide.Kwl_refinement);
+  (* Hanf locality certifies Equivalent at the sound radius: one big
+     cycle vs two half-cycles have identical radius-1 censuses (every
+     vertex sees a 3-path), so rank-1 equivalence follows even though
+     the budget is too small for the game search. Sized past the 2-WL
+     rung's guard, which would otherwise answer Distinguishable first —
+     on structures this size only the cheap rungs run. *)
+  let budget = Budget.create ~fuel:1 ~poll_interval:1 () in
+  let o =
+    Decide.equiv ~budget ~rank:1 (Gen.cycle 120)
+      (Gen.union_of [ Gen.cycle 60; Gen.cycle 60 ])
   in
   checkb "hanf certifies equivalence at rank 1" true
     (o.Decide.verdict = Decide.Equivalent
