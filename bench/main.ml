@@ -1330,6 +1330,248 @@ let ablation () =
 
 (* ---------- driver ---------- *)
 
+(* ---------- E27: serve — closed-loop load with and without faults ---------- *)
+
+module Server = Fmtk_server.Server
+module Sjson = Fmtk_server.Json
+
+let e27 () =
+  (* A closed-loop load generator: [conns] client threads, each holding
+     one connection and firing its next request the moment the previous
+     answer lands. The request mix exercises every pool op (eval with
+     and without free variables, EF games, the Decide ladder) against
+     preloaded structures whose ground-truth verdicts are computed
+     up front — so besides latency we measure the robustness claims:
+     zero server crashes and zero flipped verdicts, with faults off and
+     with the deterministic fault mix on. *)
+  let conns = 32 and per_conn = 32 in
+  let preload =
+    [
+      ("c5", "cycle:5");
+      ("c6", "cycle:6");
+      ("c12", "cycle:12");
+      ("l7", "order:7");
+      ("c100", "cycle:100");
+      ("p100", "chain:100");
+    ]
+  in
+  (* Ground truth for every definitive answer the mix can elicit. *)
+  let truth_game_c5_c6_r3 =
+    match Ef.solve_verdict ~rounds:3 (Gen.cycle 5) (Gen.cycle 6) with
+    | Ef.Equivalent, _ -> true
+    | Ef.Distinguished, _ -> false
+    | Ef.Gave_up _, _ -> failwith "unlimited solver gave up"
+  in
+  let mix seq =
+    match seq mod 6 with
+    | 0 ->
+        ( Printf.sprintf
+            {|{"op":"eval","id":%d,"structure":"c6","formula":"forall x. exists y. E(x,y)"}|}
+            seq,
+          Some ("value", true) )
+    | 1 ->
+        ( Printf.sprintf
+            {|{"op":"game","id":%d,"left":"c5","right":"c6","rounds":3}|} seq,
+          Some ("equivalent", truth_game_c5_c6_r3) )
+    | 2 ->
+        ( Printf.sprintf
+            {|{"op":"eval","id":%d,"structure":"c12","formula":"E(x,y)"}|} seq,
+          None )
+    | 3 ->
+        (* Structures past the exact-game horizon under a deliberately
+           tiny deadline: the ladder answers via the degree-sequence
+           rung — these are the [degraded] responses of the run. *)
+        ( Printf.sprintf
+            {|{"op":"decide","id":%d,"left":"c100","right":"p100","rank":3,"timeout":0.05}|}
+            seq,
+          Some ("verdict-equivalent", false) )
+    | 4 ->
+        ( Printf.sprintf
+            {|{"op":"eval","id":%d,"structure":"l7","formula":"exists x. forall y. x = y | x < y"}|}
+            seq,
+          Some ("value", true) )
+    | _ ->
+        ( Printf.sprintf
+            {|{"op":"decide","id":%d,"left":"c6","right":"c12","rank":3}|} seq,
+          Some ("verdict-equivalent", false) )
+  in
+  let run_load ~inject =
+    let cfg =
+      {
+        (Server.default_config (Server.Tcp ("127.0.0.1", 0))) with
+        Server.workers = max 2 (min 4 (Domain.recommended_domain_count () - 2));
+        (* Below the connection count, so the closed-loop burst
+           genuinely trips admission control. *)
+        max_inflight = 20;
+        inject_faults = inject;
+        log = None;
+      }
+    in
+    let srv =
+      match Server.create ~preload cfg with
+      | Ok s -> s
+      | Error e -> failwith ("server create failed: " ^ e)
+    in
+    let runner = Thread.create Server.run srv in
+    let port = match Server.port srv with Some p -> p | None -> assert false in
+    let latencies = Array.make (conns * per_conn) 0.0 in
+    let shed = Atomic.make 0
+    and degraded = Atomic.make 0
+    and errors = Atomic.make 0
+    and oks = Atomic.make 0
+    and wrong = Atomic.make 0
+    and dropped = Atomic.make 0 in
+    let field name v = List.assoc_opt name v in
+    let check_truth expect resp_fields =
+      match expect with
+      | None -> ()
+      | Some (key, want) -> (
+          match field "result" resp_fields with
+          | Some (Sjson.Obj r) -> (
+              match key with
+              | "value" | "equivalent" -> (
+                  match field key r with
+                  | Some (Sjson.Bool got) ->
+                      if got <> want then Atomic.incr wrong
+                  | _ -> ())
+              | "verdict-equivalent" -> (
+                  match field "verdict" r with
+                  | Some (Sjson.Str "equivalent") ->
+                      if not want then Atomic.incr wrong
+                  | Some (Sjson.Str ("distinguished" | "distinguishable")) ->
+                      if want then Atomic.incr wrong
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ())
+    in
+    let client cid =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      for i = 0 to per_conn - 1 do
+        let seq = (cid * per_conn) + i in
+        let line, expect = mix seq in
+        let t0 = Unix.gettimeofday () in
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | resp -> (
+            latencies.(seq) <- (Unix.gettimeofday () -. t0) *. 1000.;
+            match Sjson.parse resp with
+            | Ok (Sjson.Obj fields) -> (
+                match field "status" fields with
+                | Some (Sjson.Str "ok") ->
+                    Atomic.incr oks;
+                    check_truth expect fields
+                | Some (Sjson.Str "degraded") ->
+                    Atomic.incr degraded;
+                    check_truth expect fields
+                | Some (Sjson.Str "shed") -> Atomic.incr shed
+                | Some (Sjson.Str "error") -> Atomic.incr errors
+                | _ -> Atomic.incr dropped)
+            | _ -> Atomic.incr dropped)
+        | exception End_of_file -> Atomic.incr dropped
+      done;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init conns (fun cid -> Thread.create client cid) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    (* SIGTERM-equivalent drain: shutdown must complete and the runner
+       thread must come home — a hung drain fails the whole bench. *)
+    let t_shut = Unix.gettimeofday () in
+    Server.shutdown srv;
+    Thread.join runner;
+    let drain_s = Unix.gettimeofday () -. t_shut in
+    let s = Server.stats srv in
+    let sorted = Array.copy latencies in
+    Array.sort compare sorted;
+    let pct p =
+      sorted.(min (Array.length sorted - 1)
+                (int_of_float (p *. float_of_int (Array.length sorted))))
+    in
+    let total = conns * per_conn in
+    ( total,
+      wall,
+      pct 0.50,
+      pct 0.99,
+      Atomic.get oks,
+      Atomic.get degraded,
+      Atomic.get errors,
+      Atomic.get shed,
+      Atomic.get wrong,
+      Atomic.get dropped,
+      drain_s,
+      s )
+  in
+  pf "Closed-loop load: %d connections x %d requests, mixed ops@." conns
+    per_conn;
+  let report name
+      (total, wall, p50, p99, oks, degraded, errors, shed, wrong, dropped, drain_s, s)
+      =
+    pf "  %s:@." name;
+    pf "    %d requests in %.2fs  (%.0f req/s)@." total wall
+      (float_of_int total /. wall);
+    pf "    p50 %.2f ms   p99 %.2f ms@." p50 p99;
+    pf "    ok %d  degraded %d  error %d  shed %d  dropped %d@." oks degraded
+      errors shed dropped;
+    pf "    wrong verdicts %d  drain %.3fs  cache hit-rate %.2f@." wrong
+      drain_s
+      (let probes = s.Server.cache_hits + s.Server.cache_misses in
+       if probes = 0 then 0.0
+       else float_of_int s.Server.cache_hits /. float_of_int probes)
+  in
+  let clean = run_load ~inject:false in
+  report "clean" clean;
+  let faulted = run_load ~inject:true in
+  report "with injected faults (3 in 10 requests)" faulted;
+  let ( _,
+        _,
+        _,
+        _,
+        _,
+        _,
+        f_errors,
+        _,
+        f_wrong,
+        f_dropped,
+        _,
+        _ ) =
+    faulted
+  in
+  pf "Shape: zero wrong verdicts and zero dropped responses in both@.";
+  pf "runs; the faulted run answers every request too — errors, not@.";
+  pf "silence (%d structured errors, %d wrong, %d dropped).@." f_errors f_wrong
+    f_dropped;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let out = Printf.fprintf in
+      let emit name
+          (total, wall, p50, p99, oks, degraded, errors, shed, wrong, dropped, drain_s, s)
+          last =
+        out oc
+          "    {\"run\": %S, \"connections\": %d, \"requests\": %d, \
+           \"wall_s\": %.3f, \"throughput_rps\": %.1f, \"p50_ms\": %.3f, \
+           \"p99_ms\": %.3f, \"ok\": %d, \"degraded\": %d, \"error\": %d, \
+           \"shed\": %d, \"wrong_verdicts\": %d, \"dropped\": %d, \
+           \"drain_s\": %.3f, \"cache_hits\": %d, \"cache_misses\": %d}%s\n"
+          name conns total wall
+          (float_of_int total /. wall)
+          p50 p99 oks degraded errors shed wrong dropped drain_s
+          s.Server.cache_hits s.Server.cache_misses
+          (if last then "" else ",")
+      in
+      out oc "{\n  \"experiment\": \"E27\",\n  \"runs\": [\n";
+      emit "clean" clean false;
+      emit "faulted" faulted true;
+      out oc "  ]\n}\n";
+      close_out oc
+
 let sections =
   [
     ("E1", "combined complexity O(n^k) (Stockmeyer/Vardi)", e1);
@@ -1358,6 +1600,7 @@ let sections =
     ("E24", "symmetry-pruned EF search: orbit x parallel grid", e24);
     ("E25", "budget poll overhead on the rigid-order EF workload", e25);
     ("E26", "engine port timings + C^k vs k-WL agreement + CFI certificate", e26);
+    ("E27", "serve: closed-loop load, faults on/off, shed/drain discipline", e27);
     ("ablation", "design-choice ablations", ablation);
   ]
 

@@ -5,6 +5,9 @@
 #   E25 -> BENCH_budget.json (budget poll overhead on the rigid-order workload)
 #   E26 -> BENCH_engine.json (engine-ported solver timings, C^k vs k-WL
 #                             agreement grid, CFI certificate)
+#   E27 -> BENCH_serve.json  (closed-loop serve load, faults on/off:
+#                             p50/p99/throughput/shed/degraded, zero
+#                             wrong verdicts, drain time)
 # --games-only skips the E23/E25 re-timing and refreshes only the game
 # trails (BENCH_games.json + BENCH_engine.json). Extra arguments are
 # passed through to bench/main.exe.
@@ -31,6 +34,10 @@ if [ "$games_only" = false ]; then
   dune exec bench/main.exe -- --only E23 --json BENCH_eval.json \
     --deadline "$FMTK_BENCH_DEADLINE" $passthrough
   dune exec bench/main.exe -- --only E25 --json BENCH_budget.json \
+    --deadline "$FMTK_BENCH_DEADLINE" $passthrough
+fi
+if [ "$games_only" = false ]; then
+  dune exec bench/main.exe -- --only E27 --json BENCH_serve.json \
     --deadline "$FMTK_BENCH_DEADLINE" $passthrough
 fi
 dune exec bench/main.exe -- --only E24 --json BENCH_games.json \

@@ -33,6 +33,8 @@ module Engine = Fmtk_datalog.Engine
 module Programs = Fmtk_datalog.Programs
 module Budget = Fmtk_runtime.Budget
 module Decide = Fmtk.Decide
+module Spec = Fmtk.Spec
+module Server = Fmtk_server.Server
 
 open Cmdliner
 
@@ -40,19 +42,55 @@ open Cmdliner
 
 let debug_enabled () = Sys.getenv_opt "FMTK_DEBUG" = Some "1"
 
+(* ---- signal discipline for one-shot commands ----
+
+   SIGINT/SIGTERM cancel the active budget instead of killing the
+   process mid-solve: the solvers observe the cancellation within one
+   poll interval, join every spawned domain, and unwind with
+   [Budget.Exhausted Cancelled]; [exec] then exits 130/143 (the shell
+   convention for death-by-SIGINT/SIGTERM) instead of dumping a raw
+   backtrace. Commands that hold no budget exit immediately from the
+   handler (they spawn no domains), and a second signal always
+   force-exits. The [serve] command replaces these handlers with its
+   graceful-shutdown discipline. *)
+
+let active_budget = ref Budget.unlimited
+
+let signal_code = ref None
+
+let install_signal_discipline () =
+  let handle code =
+    Sys.Signal_handle
+      (fun _ ->
+        match !signal_code with
+        | Some c -> exit c (* second signal: stop waiting, exit now *)
+        | None ->
+            signal_code := Some code;
+            let b = !active_budget in
+            if Budget.is_unlimited b then exit code else Budget.cancel b)
+  in
+  (try Sys.set_signal Sys.sigint (handle 130) with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigterm (handle 143) with Invalid_argument _ -> ()
+
 (* Every subcommand body runs through [exec]: errors become a uniform
-   [Error (`Msg _)] (exit 1), budget exhaustion exits 2, anything else
+   [Error (`Msg _)] (exit 1), budget exhaustion exits 2 — or 130/143
+   when the exhaustion was a signal-driven cancellation — anything else
    is an internal error (exit 3, backtrace only under FMTK_DEBUG=1). *)
 let exec body =
   match body () with
-  | Ok () -> 0
+  | Ok () -> ( match !signal_code with Some c -> c | None -> 0)
   | Error (`Msg m) ->
       Format.eprintf "fmtk: %s@." m;
       1
-  | exception Budget.Exhausted r ->
-      Format.eprintf "fmtk: gave up: %s budget exhausted@."
-        (Budget.reason_to_string r);
-      2
+  | exception Budget.Exhausted r -> (
+      match !signal_code with
+      | Some c ->
+          Format.eprintf "fmtk: interrupted; cancelled the active solve@.";
+          c
+      | None ->
+          Format.eprintf "fmtk: gave up: %s budget exhausted@."
+            (Budget.reason_to_string r);
+          2)
   | exception e ->
       Format.eprintf "fmtk: internal error: %s@." (Printexc.to_string e);
       if debug_enabled () then
@@ -61,39 +99,9 @@ let exec body =
 
 (* ---- structure argument ---- *)
 
-let parse_spec spec =
-  match String.split_on_char ':' spec with
-  | [ "set"; n ] -> Ok (Gen.set (int_of_string n))
-  | [ "order"; n ] -> Ok (Gen.linear_order (int_of_string n))
-  | [ "chain"; n ] | [ "successor"; n ] -> Ok (Gen.successor (int_of_string n))
-  | [ "cycle"; n ] -> Ok (Gen.cycle (int_of_string n))
-  | [ "complete"; n ] -> Ok (Gen.complete (int_of_string n))
-  | [ "tree"; d ] -> Ok (Gen.binary_tree (int_of_string d))
-  | [ "paley"; q ] -> Ok (Paley.graph (int_of_string q))
-  | [ "cfi"; m ] -> Ok (fst (Gen.cfi_pair (int_of_string m)))
-  | [ "cfi-twisted"; m ] -> Ok (snd (Gen.cfi_pair (int_of_string m)))
-  | [ "grid"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ w; h ] -> Ok (Gen.grid (int_of_string w) (int_of_string h))
-      | _ -> Error (`Msg "grid spec is grid:WxH"))
-  | [ "random"; n; p; seed ] ->
-      let rng = Random.State.make [| int_of_string seed |] in
-      Ok (Gen.random_graph ~rng (int_of_string n) (float_of_string p))
-  | _ -> (
-      match Structure_io.load spec with
-      | Ok s -> Ok s
-      | Error e -> Error (`Msg e))
-
 let structure_conv =
   let parse spec =
-    match parse_spec spec with
-    | Ok s -> Ok s
-    | Error (`Msg _) as e -> e
-    | exception e ->
-        Error
-          (`Msg
-             (Printf.sprintf "bad structure spec %S: %s" spec
-                (Printexc.to_string e)))
+    match Spec.parse spec with Ok s -> Ok s | Error e -> Error (`Msg e)
   in
   Arg.conv (parse, fun ppf s -> Format.fprintf ppf "<structure n=%d>" (Structure.size s))
 
@@ -131,17 +139,20 @@ let budget_term =
           ~doc:"Give up after $(docv) solver steps (exit code 2).")
   in
   let mk deadline_in fuel =
-    match (deadline_in, fuel) with
-    | None, None -> Budget.unlimited
-    | _ ->
-        (* Small fuel counts must actually bind: the poll interval is a
-           granted step window, so keep it well under the fuel pool. *)
-        let poll_interval =
-          match fuel with
-          | Some f -> max 1 (min 256 (f / 10))
-          | None -> 256
-        in
-        Budget.create ?deadline_in ?fuel ~poll_interval ()
+    (* Small fuel counts must actually bind: the poll interval is a
+       granted step window, so keep it well under the fuel pool. The
+       budget always carries a cancellation token (~0.001% measured
+       poll overhead, E25) so the signal handlers above can interrupt
+       the solve cleanly. *)
+    let poll_interval =
+      match fuel with Some f -> max 1 (min 256 (f / 10)) | None -> 256
+    in
+    let b =
+      Budget.create ?deadline_in ?fuel ~poll_interval
+        ~cancel:(Budget.Cancel.create ()) ()
+    in
+    active_budget := b;
+    b
   in
   Term.(const mk $ timeout $ fuel)
 
@@ -582,6 +593,269 @@ let ifp_cmd =
       $ structure_arg ~name:"STRUCTURE" ~doc:"Structure." 0
       $ query $ budget_term)
 
+(* ---- serve / query ---- *)
+
+let addr_args =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Serve on a Unix-domain socket at $(docv).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Serve on TCP port $(docv) (0 picks a free port).")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Host to bind/connect with $(b,--port).")
+  in
+  (socket, port, host)
+
+let resolve_addr socket port host =
+  match (socket, port) with
+  | Some path, None -> Ok (Server.Unix_path path)
+  | None, Some p -> Ok (Server.Tcp (host, p))
+  | Some _, Some _ -> Error (`Msg "--socket and --port are mutually exclusive")
+  | None, None -> Error (`Msg "need --socket PATH or --port PORT")
+
+let serve_cmd =
+  let run socket port host workers max_inflight default_timeout max_timeout
+      drain_timeout idle_timeout max_line preloads inject quiet =
+    exec @@ fun () ->
+    match resolve_addr socket port host with
+    | Error _ as e -> e
+    | Ok addr -> (
+        let preload =
+          List.map
+            (fun kv ->
+              match String.index_opt kv '=' with
+              | Some i ->
+                  Ok
+                    ( String.sub kv 0 i,
+                      String.sub kv (i + 1) (String.length kv - i - 1) )
+              | None -> Error (`Msg (Printf.sprintf "--preload wants NAME=SPEC, got %S" kv)))
+            preloads
+        in
+        match
+          List.fold_left
+            (fun acc p ->
+              match (acc, p) with
+              | (Error _ as e), _ -> e
+              | _, (Error _ as e) -> e
+              | Ok ps, Ok p -> Ok (p :: ps))
+            (Ok []) preload
+        with
+        | Error _ as e -> e
+        | Ok preload -> (
+            let d = Server.default_config addr in
+            let cfg =
+              {
+                d with
+                Server.workers = Option.value workers ~default:d.Server.workers;
+                max_inflight =
+                  Option.value max_inflight ~default:d.Server.max_inflight;
+                default_timeout =
+                  Option.value default_timeout ~default:d.Server.default_timeout;
+                max_timeout =
+                  Option.value max_timeout ~default:d.Server.max_timeout;
+                drain_timeout =
+                  Option.value drain_timeout ~default:d.Server.drain_timeout;
+                idle_timeout =
+                  Option.value idle_timeout ~default:d.Server.idle_timeout;
+                max_line = Option.value max_line ~default:d.Server.max_line;
+                inject_faults = inject;
+                log =
+                  (if quiet then None
+                   else Some (fun m -> Format.eprintf "fmtk-serve: %s@."m));
+              }
+            in
+            match Server.create ~preload:(List.rev preload) cfg with
+            | Error e -> Error (`Msg e)
+            | Ok srv ->
+                (* First signal: graceful drain (run returns, exit 0).
+                   Second signal: give up waiting, exit with the shell's
+                   death-by-signal code. *)
+                let stopping = ref false in
+                let handler code =
+                  Sys.Signal_handle
+                    (fun _ ->
+                      if !stopping then exit code
+                      else begin
+                        stopping := true;
+                        Server.shutdown srv
+                      end)
+                in
+                Sys.set_signal Sys.sigint (handler 130);
+                Sys.set_signal Sys.sigterm (handler 143);
+                Server.run srv;
+                Ok ()))
+  in
+  let socket, port, host = addr_args in
+  let workers =
+    Arg.(
+      value & opt (some int) None
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker-domain pool size.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Admission watermark: shed new work past $(docv) in-flight requests.")
+  in
+  let default_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "default-timeout" ] ~docv:"SECS"
+          ~doc:"Per-request deadline when the request names none.")
+  in
+  let max_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-timeout" ] ~docv:"SECS"
+          ~doc:"Reject requests asking for more than $(docv) seconds.")
+  in
+  let drain_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "drain-timeout" ] ~docv:"SECS"
+          ~doc:"Seconds to drain in-flight requests on shutdown before \
+                cancelling stragglers.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:"Close connections idle for $(docv) seconds (0 disables).")
+  in
+  let max_line =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-line" ] ~docv:"BYTES" ~doc:"Reject request lines over $(docv) bytes.")
+  in
+  let preload =
+    Arg.(
+      value & opt_all string []
+      & info [ "preload" ] ~docv:"NAME=SPEC"
+          ~doc:"Preload a structure into the store (repeatable).")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject-faults" ]
+          ~doc:"Deterministically inject budget/worker faults into a \
+                fraction of requests (the robustness test harness).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No lifecycle logging on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-running query service (line-delimited JSON over a \
+          socket)")
+    Term.(
+      const run $ socket $ port $ host $ workers $ max_inflight
+      $ default_timeout $ max_timeout $ drain_timeout $ idle_timeout
+      $ max_line $ preload $ inject $ quiet)
+
+let query_cmd =
+  let run socket port host retry requests =
+    exec @@ fun () ->
+    match resolve_addr socket port host with
+    | Error _ as e -> e
+    | Ok addr -> (
+        let sockaddr, domain =
+          match addr with
+          | Server.Unix_path p -> (Unix.ADDR_UNIX p, Unix.PF_UNIX)
+          | Server.Tcp (h, p) ->
+              let inet =
+                try Unix.inet_addr_of_string h
+                with _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0)
+              in
+              (Unix.ADDR_INET (inet, p), Unix.PF_INET)
+        in
+        let deadline = Unix.gettimeofday () +. retry in
+        let rec connect () =
+          let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+          match Unix.connect fd sockaddr with
+          | () -> Ok fd
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              if Unix.gettimeofday () < deadline then begin
+                Unix.sleepf 0.05;
+                connect ()
+              end
+              else
+                Error
+                  (`Msg
+                     (Printf.sprintf "cannot connect: %s"
+                        (Unix.error_message e)))
+        in
+        match connect () with
+        | Error _ as e -> e
+        | Ok fd ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            let send line =
+              output_string oc line;
+              output_char oc '\n';
+              flush oc;
+              match input_line ic with
+              | resp ->
+                  print_endline resp;
+                  Ok ()
+              | exception End_of_file ->
+                  Error (`Msg "server closed the connection")
+            in
+            let rec send_all = function
+              | [] -> Ok ()
+              | line :: rest -> (
+                  match send line with Ok () -> send_all rest | e -> e)
+            in
+            let result =
+              match requests with
+              | [] ->
+                  (* No arguments: relay stdin, one request per line. *)
+                  let rec pump () =
+                    match input_line stdin with
+                    | line -> (
+                        match send line with Ok () -> pump () | e -> e)
+                    | exception End_of_file -> Ok ()
+                  in
+                  pump ()
+              | reqs -> send_all reqs
+            in
+            close_out_noerr oc;
+            result)
+  in
+  let socket, port, host = addr_args in
+  let retry =
+    Arg.(
+      value & opt float 5.0
+      & info [ "retry" ] ~docv:"SECS"
+          ~doc:
+            "Keep retrying the connection for $(docv) seconds (covers \
+             server startup races in scripts).")
+  in
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "JSON request lines, sent in order (default: read them from \
+             stdin). Sent verbatim — malformed lines exercise the \
+             server's error surface.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send request lines to a running fmtk server and print responses")
+    Term.(const run $ socket $ port $ host $ retry $ requests)
+
 let main =
   let exits =
     [
@@ -612,10 +886,13 @@ let main =
       qbf_cmd;
       mso_cmd;
       ifp_cmd;
+      serve_cmd;
+      query_cmd;
     ]
 
 let () =
   if debug_enabled () then Printexc.record_backtrace true;
+  install_signal_discipline ();
   exit
     (match Cmd.eval_value main with
     | Ok (`Ok code) -> code

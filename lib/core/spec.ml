@@ -1,0 +1,51 @@
+module Gen = Fmtk_structure.Gen
+module Structure_io = Fmtk_structure.Structure_io
+module Paley = Fmtk_zeroone.Paley
+
+let parse spec =
+  let num name s k =
+    match int_of_string_opt s with
+    | Some n -> k n
+    | None -> Error (Printf.sprintf "%s spec needs an integer, got %S" name s)
+  in
+  match String.split_on_char ':' spec with
+  | [ "set"; n ] -> num "set" n (fun n -> Ok (Gen.set n))
+  | [ "order"; n ] -> num "order" n (fun n -> Ok (Gen.linear_order n))
+  | [ "chain"; n ] | [ "successor"; n ] ->
+      num "chain" n (fun n -> Ok (Gen.successor n))
+  | [ "cycle"; n ] -> num "cycle" n (fun n -> Ok (Gen.cycle n))
+  | [ "complete"; n ] -> num "complete" n (fun n -> Ok (Gen.complete n))
+  | [ "tree"; d ] -> num "tree" d (fun d -> Ok (Gen.binary_tree d))
+  | [ "paley"; q ] -> num "paley" q (fun q -> Ok (Paley.graph q))
+  | [ "cfi"; m ] -> num "cfi" m (fun m -> Ok (fst (Gen.cfi_pair m)))
+  | [ "cfi-twisted"; m ] -> num "cfi-twisted" m (fun m -> Ok (snd (Gen.cfi_pair m)))
+  | [ "grid"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ w; h ] ->
+          num "grid" w (fun w -> num "grid" h (fun h -> Ok (Gen.grid w h)))
+      | _ -> Error "grid spec is grid:WxH")
+  | [ "random"; n; p; seed ] -> (
+      match (int_of_string_opt n, float_of_string_opt p, int_of_string_opt seed)
+      with
+      | Some n, Some p, Some seed ->
+          let rng = Random.State.make [| seed |] in
+          Ok (Gen.random_graph ~rng n p)
+      | _ -> Error "random spec is random:SIZE:EDGE_PROB:SEED")
+  | _ -> (
+      match Structure_io.load spec with
+      | Ok s -> Ok s
+      | Error e -> Error e)
+
+(* Generators validate their arguments with [Invalid_argument]; a total
+   surface must catch those too (negative sizes, non-prime Paley
+   orders, ...). *)
+let parse spec =
+  match parse spec with
+  | (Ok _ | Error _) as r -> r
+  | exception Invalid_argument m ->
+      Error (Printf.sprintf "bad structure spec %S: %s" spec m)
+  | exception Failure m ->
+      Error (Printf.sprintf "bad structure spec %S: %s" spec m)
+
+let parse_exn spec =
+  match parse spec with Ok s -> s | Error e -> invalid_arg e

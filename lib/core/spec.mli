@@ -1,0 +1,15 @@
+(** Structure specs: the one-line generator syntax shared by the CLI
+    arguments and the serve protocol's [load] op.
+
+    A spec is either a generator — [set:4], [order:5], [chain:6]
+    (alias [successor:6]), [cycle:8], [complete:3], [tree:3],
+    [grid:3x4], [random:20:0.3:7] (size:edge-probability:seed),
+    [paley:13], [cfi:4], [cfi-twisted:4] — or a path to a structure
+    file in the {!Fmtk_structure.Structure_io} format. *)
+
+(** Total: malformed specs, bad numbers and unreadable files all come
+    back as [Error], never an exception. *)
+val parse : string -> (Fmtk_structure.Structure.t, string) result
+
+(** @raise Invalid_argument on a bad spec. *)
+val parse_exn : string -> Fmtk_structure.Structure.t

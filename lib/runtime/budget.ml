@@ -60,6 +60,51 @@ let create ?deadline_in ?fuel ?memo_cap ?cancel ?(poll_interval = 256)
 
 let unlimited = create ()
 
+(* Child budget: capped by the parent, sharing the parent's cancellation
+   token so cancelling the parent cancels every derived child. The fuel
+   rules: with no [fuel] argument the child shares the parent's pool
+   (child steps drain it); with [fuel] the child gets its own pool,
+   capped by what the parent has left at derivation time. *)
+let sub ?deadline_in ?fuel ?memo_cap ?poll_interval parent =
+  let now = Unix.gettimeofday () in
+  let deadline =
+    match (deadline_in, parent.deadline) with
+    | None, pd -> pd
+    | Some s, None -> Some (now +. s)
+    | Some s, Some pd -> Some (Float.min (now +. s) pd)
+  in
+  let fuel =
+    match (fuel, parent.fuel) with
+    | None, pf -> pf
+    | Some f, None -> Some (Atomic.make (max 0 f))
+    | Some f, Some pf -> Some (Atomic.make (max 0 (min f (Atomic.get pf))))
+  in
+  let memo_cap =
+    match (memo_cap, parent.memo_cap) with
+    | None, pc -> pc
+    | Some c, None -> Some c
+    | Some c, Some pc -> Some (min c pc)
+  in
+  let interval =
+    match parent.inject with
+    | Some (Exhaust_at _ | Cancel_at _) -> 1
+    | _ -> (
+        match poll_interval with
+        | Some i -> max 1 i
+        | None -> parent.interval)
+  in
+  {
+    deadline;
+    fuel;
+    memo_cap;
+    cancel = parent.cancel;
+    interval;
+    steps = Atomic.make 0;
+    inject = parent.inject;
+    unlimited =
+      parent.unlimited && deadline = None && fuel = None && memo_cap = None;
+  }
+
 let is_unlimited b = b.unlimited
 
 let poll_interval b = b.interval

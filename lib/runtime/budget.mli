@@ -71,6 +71,50 @@ val create :
   unit ->
   t
 
+(** [sub ?deadline_in ?fuel ?memo_cap ?poll_interval parent] derives a
+    child budget capped by [parent] — the mechanism behind per-request
+    budgets in a long-running service: one root budget per server, one
+    [sub] per request.
+
+    - The child {e shares the parent's cancellation token}: cancelling
+      the parent (or any sibling's shared token) cancels the child
+      within one poll interval.
+    - [deadline_in] is seconds from now, clamped to the parent's
+      absolute deadline; omitted means the parent's deadline applies
+      unchanged.
+    - Omitting [fuel] shares the parent's fuel pool (child steps drain
+      it); providing [fuel] gives the child an {e independent} pool
+      capped by the parent's remaining fuel at derivation time — the
+      child can then burn at most [min fuel remaining] steps, but those
+      steps are not charged back to the parent's pool.
+    - [memo_cap] is clamped to the parent's cap.
+    - Fault injection is inherited, with a fresh step counter: an
+      [Exhaust_at n]/[Cancel_at n] parent makes {e each} child fire at
+      its own nth polled step (poll interval forced to 1, as in
+      {!create}).
+
+    {2 Poll-interval / amortization contract}
+
+    [poll_interval] (inherited from the parent when omitted) is a
+    {e granted step window}: every {!poller} counts [poll_interval]
+    hot-path {!check}s against a single slow-path consultation of the
+    shared state, and the slow path debits the whole window from the
+    fuel pool at once. Consequences callers rely on:
+    - cancellation, deadline and fuel exhaustion take effect within one
+      poll interval per live poller, never instantly;
+    - a fuel pool smaller than [poll_interval × live pollers] can be
+      overshot by up to one window per poller — derive children with a
+      proportionally smaller interval when handing out small fuel
+      grants (the CLI uses [max 1 (min 256 (fuel / 10))]);
+    - {!steps} is accurate only to one window per live poller. *)
+val sub :
+  ?deadline_in:float ->
+  ?fuel:int ->
+  ?memo_cap:int ->
+  ?poll_interval:int ->
+  t ->
+  t
+
 (** A budget with no limits: every check is a near-no-op. *)
 val unlimited : t
 

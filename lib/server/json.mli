@@ -1,0 +1,42 @@
+(** Minimal JSON for the serve protocol.
+
+    The toolchain has no JSON dependency, and the line-delimited protocol
+    needs only a small, {e total} codec: {!parse} never raises on any
+    input (malformed text, deep nesting, bad escapes all become
+    [Error] with a position), mirroring the PR-3 discipline of
+    {!Fmtk_logic.Parser} and {!Fmtk_structure.Structure_io}. Printing is
+    single-line (no newlines ever appear inside a value), so one value
+    per line is a safe framing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [parse s] — total: every failure is [Error] with a 1-based column.
+    Nesting is depth-checked ([max_depth], default 64) so adversarial
+    input cannot overflow the stack. Trailing garbage after the value is
+    an error. *)
+val parse : ?max_depth:int -> string -> (t, string) result
+
+(** Single-line rendering with full string escaping; integral numbers
+    print without a fractional part. *)
+val to_string : t -> string
+
+(** {1 Accessors} — niceties over [Obj] association lists. *)
+
+(** Field lookup; [None] on non-objects too. *)
+val member : string -> t -> t option
+
+val get_string : t -> string option
+
+(** Accepts only integral [Num]s. *)
+val get_int : t -> int option
+
+val get_float : t -> float option
+val get_bool : t -> bool option
+
+val of_int : int -> t

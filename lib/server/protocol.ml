@@ -1,0 +1,158 @@
+module Json = Json
+
+type request =
+  | Ping
+  | List_structures
+  | Stats
+  | Load of { name : string; spec : string option; text : string option }
+  | Eval of { structure : string; formula : string }
+  | Game of {
+      left : string;
+      right : string;
+      rounds : int;
+      pebbles : int option;
+      counting : bool;
+    }
+  | Decide of { left : string; right : string; rank : int }
+
+type limits = { timeout : float option; fuel : int option }
+
+type envelope = {
+  id : Json.t option;
+  body : (request * limits, string * string) result;
+}
+
+let field json name = Json.member name json
+
+let string_field json name =
+  match field json name with
+  | Some v -> (
+      match Json.get_string v with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "field %S must be a string" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field json name =
+  match field json name with
+  | Some v -> (
+      match Json.get_int v with
+      | Some i -> Ok (Some i)
+      | None -> Error (Printf.sprintf "field %S must be an integer" name))
+  | None -> Ok None
+
+let req_int_field json name =
+  match int_field json name with
+  | Ok (Some i) -> Ok i
+  | Ok None -> Error (Printf.sprintf "missing field %S" name)
+  | Error e -> Error e
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let parse_body json =
+  let* op = string_field json "op" in
+  match op with
+  | "ping" -> Ok Ping
+  | "list" -> Ok List_structures
+  | "stats" -> Ok Stats
+  | "load" ->
+      let* name = string_field json "name" in
+      let spec =
+        Option.bind (field json "spec") Json.get_string
+      in
+      let text = Option.bind (field json "text") Json.get_string in
+      if spec = None && text = None then
+        Error "load needs a \"spec\" or a \"text\" field"
+      else Ok (Load { name; spec; text })
+  | "eval" ->
+      let* structure = string_field json "structure" in
+      let* formula = string_field json "formula" in
+      Ok (Eval { structure; formula })
+  | "game" ->
+      let* left = string_field json "left" in
+      let* right = string_field json "right" in
+      let* rounds = req_int_field json "rounds" in
+      let* pebbles = int_field json "pebbles" in
+      let counting =
+        match Option.bind (field json "counting") Json.get_bool with
+        | Some b -> b
+        | None -> false
+      in
+      if rounds < 0 then Error "\"rounds\" must be non-negative"
+      else if counting && pebbles = None then
+        Error "\"counting\" needs a \"pebbles\" count"
+      else if (match pebbles with Some k -> k < 1 | None -> false) then
+        Error "\"pebbles\" must be positive"
+      else Ok (Game { left; right; rounds; pebbles; counting })
+  | "decide" ->
+      let* left = string_field json "left" in
+      let* right = string_field json "right" in
+      let* rank = req_int_field json "rank" in
+      if rank < 0 then Error "\"rank\" must be non-negative"
+      else Ok (Decide { left; right; rank })
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+let parse_limits json =
+  let timeout =
+    match field json "timeout" with
+    | Some v -> (
+        match Json.get_float v with
+        | Some f when f > 0. -> Ok (Some f)
+        | _ -> Error "field \"timeout\" must be a positive number")
+    | None -> Ok None
+  in
+  let* timeout = timeout in
+  let* fuel =
+    match int_field json "fuel" with
+    | Ok (Some f) when f <= 0 -> Error "field \"fuel\" must be positive"
+    | r -> r
+  in
+  Ok { timeout; fuel }
+
+let parse_request line =
+  match Json.parse line with
+  | Error e -> { id = None; body = Error ("bad-json", e) }
+  | Ok json ->
+      let id = Json.member "id" json in
+      let body =
+        match
+          let* req = parse_body json in
+          let* limits = parse_limits json in
+          Ok (req, limits)
+        with
+        | Ok _ as ok -> ok
+        | Error msg -> Error ("bad-request", msg)
+      in
+      { id; body }
+
+let is_inline = function
+  | Ping | List_structures | Stats -> true
+  | Load _ | Eval _ | Game _ | Decide _ -> false
+
+(* ---- responses ---- *)
+
+let render ?ms ~id ~status fields =
+  let base = [ ("status", Json.Str status) ] in
+  let idf = match id with Some v -> [ ("id", v) ] | None -> [] in
+  let msf =
+    match ms with
+    | Some ms -> [ ("ms", Json.Num (Float.round (ms *. 1000.) /. 1000.)) ]
+    | None -> []
+  in
+  Json.to_string (Json.Obj (idf @ base @ fields @ msf))
+
+let ok ?ms ~id fields =
+  render ?ms ~id ~status:"ok" [ ("result", Json.Obj fields) ]
+
+let degraded ?ms ~id fields =
+  render ?ms ~id ~status:"degraded" [ ("result", Json.Obj fields) ]
+
+let error ?ms ~id ~code msg =
+  render ?ms ~id ~status:"error"
+    [ ("code", Json.Str code); ("error", Json.Str msg) ]
+
+let shed ~id ~retry_after_ms =
+  render ~id ~status:"shed"
+    [
+      ("code", Json.Str "overloaded");
+      ("retry_after_ms", Json.of_int retry_after_ms);
+    ]

@@ -1,0 +1,76 @@
+(** The serve wire protocol: one JSON object per line, each request
+    answered by exactly one JSON object line.
+
+    Requests carry an [op] field selecting the operation, an optional
+    [id] echoed verbatim in the response (any JSON value — clients use
+    it to match pipelined responses), and optional [timeout] (seconds)
+    and [fuel] resource limits, capped server-side.
+
+    {v
+      {"id":1,"op":"load","name":"c6","spec":"cycle:6"}
+      {"id":2,"op":"eval","structure":"c6","formula":"forall x. exists y. E(x,y)"}
+      {"id":3,"op":"game","left":"c6","right":"c7","rounds":3}
+      {"id":4,"op":"decide","left":"c6","right":"c7","rank":3,"timeout":0.5}
+      {"op":"ping"}   {"op":"list"}   {"op":"stats"}
+    v}
+
+    Responses have a [status] field:
+    - ["ok"] — definitive answer in [result];
+    - ["degraded"] — sound answer from a fallback method (the
+      {!Fmtk.Decide} ladder), named in [result.method];
+    - ["shed"] — admission control refused the request; retry after
+      [retry_after_ms];
+    - ["error"] — no answer; [code] is machine-readable
+      ([bad-json], [bad-request], [unknown-structure], [parse-error],
+      [deadline-over-limit], [too-expensive], [oversized], [gave-up],
+      [worker-crash], [store-full], [idle-timeout], [shutting-down]),
+      [error] is human-readable. *)
+
+module Json = Json
+
+(** A parsed request body. *)
+type request =
+  | Ping
+  | List_structures
+  | Stats
+  | Load of { name : string; spec : string option; text : string option }
+  | Eval of { structure : string; formula : string }
+  | Game of {
+      left : string;
+      right : string;
+      rounds : int;
+      pebbles : int option;
+      counting : bool;
+    }
+  | Decide of { left : string; right : string; rank : int }
+
+(** Resource limits requested by the client (validated against the
+    server's caps at admission). *)
+type limits = { timeout : float option; fuel : int option }
+
+(** A request envelope: the echoed [id] plus either a parsed body or the
+    error response to send back. *)
+type envelope = {
+  id : Json.t option;
+  body : (request * limits, string * string) result;
+      (** [Error (code, message)] *)
+}
+
+(** [parse_request line] — total; malformed JSON or an invalid body
+    yields an [Error] envelope (with [id] still echoed when present). *)
+val parse_request : string -> envelope
+
+(** True for operations cheap enough to answer on the connection thread,
+    bypassing admission control and the worker pool. *)
+val is_inline : request -> bool
+
+(** {1 Response builders} — all single-line, [id]-echoing. *)
+
+val ok : ?ms:float -> id:Json.t option -> (string * Json.t) list -> string
+
+val degraded :
+  ?ms:float -> id:Json.t option -> (string * Json.t) list -> string
+
+val error : ?ms:float -> id:Json.t option -> code:string -> string -> string
+
+val shed : id:Json.t option -> retry_after_ms:int -> string

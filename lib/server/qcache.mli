@@ -1,0 +1,60 @@
+(** The server's compiled-query cache.
+
+    Two tiers, both mutex-guarded and shared across worker domains:
+
+    - a {e parse tier} keyed by (formula-text hash × signature): the
+      validated {!Fmtk_logic.Formula.t} for a given source string
+      against a given vocabulary — repeated queries skip the parser;
+    - a {e compiled tier} keyed by (formula-text hash × structure
+      binding): the slot-numbered closure tree of
+      {!Fmtk_eval.Compiled}. Compiled closures capture the concrete
+      structure's membership indexes (not just its signature), so this
+      tier keys by the structure the query will run on; the signature
+      key of the parse tier is what lets distinct structures over one
+      vocabulary share the parse.
+
+    A {!Fmtk_eval.Compiled.t} reuses internal scratch buffers, so each
+    cached closure carries its own lock and {!with_compiled} runs the
+    caller's function under it — two workers racing on the same cached
+    query serialize on that entry only, never on the whole cache.
+
+    Eviction is generational: when a tier exceeds its capacity it is
+    cleared wholesale (the workload is a small hot set; LRU bookkeeping
+    is not worth the contention). {!hits}/{!misses} count compiled-tier
+    probes — the hit rate the E27 bench reports. *)
+
+module Formula = Fmtk_logic.Formula
+module Structure = Fmtk_structure.Structure
+module Compiled = Fmtk_eval.Compiled
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** [formula t sg text] — parse-tier lookup of [text] against signature
+    [sg]; parses (and validates relation arities) on a miss. *)
+val formula : t -> Fmtk_logic.Signature.t -> string -> (Formula.t, string) result
+
+(** [with_compiled t ~sname s text phi f] — compiled-tier lookup of
+    [text] against structure [s] (bound to store name [sname]),
+    compiling [phi] on a miss, then runs [f compiled] holding the
+    entry's lock.
+    @raise Invalid_argument when compilation rejects the formula (an
+    uninterpreted relation/constant); nothing is cached in that case. *)
+val with_compiled :
+  t ->
+  sname:string ->
+  Structure.t ->
+  string ->
+  Formula.t ->
+  (Compiled.t -> 'a) ->
+  'a
+
+(** Drop compiled entries bound to a store name (called when the name is
+    rebound: the old closures would silently query the old structure). *)
+val invalidate : t -> sname:string -> unit
+
+(** Compiled-tier probe counters. *)
+val hits : t -> int
+
+val misses : t -> int

@@ -1,0 +1,52 @@
+module Structure = Fmtk_structure.Structure
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, Structure.t) Hashtbl.t;
+  capacity : int;
+  max_size : int;
+}
+
+let create ?(capacity = 256) ?(max_size = 100_000) () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    max_size = max 1 max_size;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let put t ~name s =
+  if Structure.size s > t.max_size then
+    Error
+      (Printf.sprintf "structure too large (%d elements, cap %d)"
+         (Structure.size s) t.max_size)
+  else begin
+    (* Index outside the lock: construction is the expensive part, and
+       the structure is not yet shared. *)
+    Structure.ensure_indexes s;
+    locked t (fun () ->
+        if
+          Hashtbl.length t.table >= t.capacity
+          && not (Hashtbl.mem t.table name)
+        then
+          Error
+            (Printf.sprintf "store full (%d structures, cap %d)"
+               (Hashtbl.length t.table) t.capacity)
+        else begin
+          Hashtbl.replace t.table name s;
+          Ok ()
+        end)
+  end
+
+let get t name = locked t (fun () -> Hashtbl.find_opt t.table name)
+
+let names t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k s acc -> (k, Structure.size s) :: acc) t.table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let count t = locked t (fun () -> Hashtbl.length t.table)

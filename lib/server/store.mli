@@ -1,0 +1,30 @@
+(** The server's persistent named-structure store.
+
+    A mutex-guarded map from names to structures, shared by every
+    connection and worker domain. Structures are fully indexed on
+    insertion ({!Fmtk_structure.Structure.ensure_indexes}), so reads
+    from worker domains are lock-free and mutation-free; replacing a
+    name leaves requests already holding the old structure unaffected
+    (values are immutable once indexed). *)
+
+module Structure = Fmtk_structure.Structure
+
+type t
+
+(** [create ~capacity ()] — at most [capacity] named structures
+    (default 256) and at most [max_size] elements per structure
+    (default 100_000): past either bound, {!put} refuses rather than
+    letting one client evict the working set or exhaust memory. *)
+val create : ?capacity:int -> ?max_size:int -> unit -> t
+
+(** [put t ~name s] indexes [s] and binds it to [name], replacing any
+    previous binding. [Error] when the store is full (and [name] is
+    fresh) or [s] exceeds the per-structure size bound. *)
+val put : t -> name:string -> Structure.t -> (unit, string) result
+
+val get : t -> string -> Structure.t option
+
+(** [(name, size)] pairs, sorted by name. *)
+val names : t -> (string * int) list
+
+val count : t -> int

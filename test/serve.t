@@ -1,0 +1,58 @@
+The serve failure surface: every malformed or over-limit input gets a
+structured single-line error and the server keeps serving; SIGTERM
+drains and exits 0.
+
+Timing fields vary run to run, so responses pass through a small
+normalizer. The socket lives under a fresh /tmp name because cram
+sandbox paths overflow sun_path.
+
+  $ strip_ms() { sed -E 's/,"ms":[0-9.e-]+//'; }
+  $ SOCK=$(mktemp -u /tmp/fmtk-serve-XXXXXX.sock)
+  $ ../bin/fmtk_cli.exe serve --socket "$SOCK" --quiet --max-timeout 30 \
+  >   --max-line 4096 --preload c6=cycle:6 &
+  $ SERVER_PID=$!
+
+A well-formed round trip first (the client retries until the server is
+up):
+
+  $ ../bin/fmtk_cli.exe query --socket "$SOCK" \
+  >   '{"op":"ping","id":1}' | strip_ms
+  {"id":1,"status":"ok","result":{"pong":true}}
+
+Malformed JSON, an unknown op, an unknown structure, an over-limit
+deadline, a bad generator spec — each a structured error, none fatal:
+
+  $ ../bin/fmtk_cli.exe query --socket "$SOCK" \
+  >   'this is not json' \
+  >   '{"op":"transmogrify","id":2}' \
+  >   '{"op":"eval","id":3,"structure":"ghost","formula":"E(x,y)"}' \
+  >   '{"op":"decide","id":4,"left":"c6","right":"c6","rank":2,"timeout":9999}' \
+  >   '{"op":"eval","id":5,"structure":"c6","formula":"exists x. ("}' \
+  >   '{"op":"load","id":6,"name":"bad","spec":"cycle:zero"}' | strip_ms
+  {"status":"error","code":"bad-json","error":"JSON error at column 1: expected \"true\""}
+  {"id":2,"status":"error","code":"bad-request","error":"unknown op \"transmogrify\""}
+  {"id":3,"status":"error","code":"unknown-structure","error":"no structure named \"ghost\" (use the load op)"}
+  {"id":4,"status":"error","code":"deadline-over-limit","error":"requested timeout 9999.000s exceeds the server cap 30.000s"}
+  {"id":5,"status":"error","code":"parse-error","error":"parse error: line 1, column 12: expected atom"}
+  {"id":6,"status":"error","code":"parse-error","error":"cycle spec needs an integer, got \"zero\""}
+
+An oversized request line is refused without reading the rest:
+
+  $ python3 -c 'print("{\"op\":\"ping\",\"pad\":\"" + "x"*5000 + "\"}")' \
+  >   | ../bin/fmtk_cli.exe query --socket "$SOCK" | strip_ms
+  {"status":"error","code":"oversized","error":"request line exceeds 4096 bytes"}
+
+After the whole gauntlet the server still answers real work:
+
+  $ ../bin/fmtk_cli.exe query --socket "$SOCK" \
+  >   '{"op":"eval","id":7,"structure":"c6","formula":"forall x. exists y. E(x,y)"}' \
+  >   '{"op":"game","id":8,"left":"c6","right":"c6","rounds":2}' | strip_ms
+  {"id":7,"status":"ok","result":{"value":true}}
+  {"id":8,"status":"ok","result":{"game":"ef","rounds":2,"equivalent":true,"positions":12}}
+
+SIGTERM: graceful drain, exit status 0, socket file removed:
+
+  $ kill -TERM "$SERVER_PID"
+  $ wait "$SERVER_PID"
+  $ test -e "$SOCK" && echo still there || echo gone
+  gone

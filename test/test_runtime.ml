@@ -96,6 +96,63 @@ let test_budget_primitives () =
   checkb "guard passes values through" true
     (Budget.guard Budget.unlimited (fun () -> 41 + 1) = Ok 42)
 
+(* ---------- derived budgets ---------- *)
+
+let test_budget_sub () =
+  (* A child can only narrow: its deadline is clamped by the parent's. *)
+  let parent = Budget.create ~deadline_in:(-1.0) () in
+  let child = Budget.sub parent ~deadline_in:1000.0 ~poll_interval:1 in
+  (match Budget.check (Budget.poller child) with
+  | () -> Alcotest.fail "child outlived an expired parent deadline"
+  | exception Budget.Exhausted Budget.Deadline -> ());
+
+  (* Requesting more fuel than the parent holds is capped at the
+     parent's remaining pool. *)
+  let parent = Budget.create ~fuel:100 () in
+  let child = Budget.sub parent ~fuel:1_000_000 ~poll_interval:1 in
+  let n = ref 0 in
+  let p = Budget.poller child in
+  (try
+     while !n < 10_000 do
+       Budget.check p;
+       incr n
+     done;
+     Alcotest.fail "capped child fuel never ran out"
+   with Budget.Exhausted Budget.Fuel -> ());
+  checkb "child fuel capped by parent" true (!n <= 110);
+
+  (* A child without its own fuel draws from the parent's shared pool:
+     burning the child starves the parent. *)
+  let parent = Budget.create ~fuel:100 ~poll_interval:1 () in
+  let child = Budget.sub parent ~poll_interval:1 in
+  let p = Budget.poller child in
+  (try
+     for _ = 1 to 10_000 do
+       Budget.check p
+     done;
+     Alcotest.fail "shared pool never ran out"
+   with Budget.Exhausted Budget.Fuel -> ());
+  (match Budget.check (Budget.poller parent) with
+  | () -> Alcotest.fail "parent blind to the drained shared pool"
+  | exception Budget.Exhausted Budget.Fuel -> ());
+
+  (* The cancellation token is shared both ways. *)
+  let tok = Budget.Cancel.create () in
+  let parent = Budget.create ~cancel:tok () in
+  let child = Budget.sub parent ~deadline_in:60.0 ~poll_interval:1 in
+  Budget.cancel parent;
+  (match Budget.check (Budget.poller child) with
+  | () -> Alcotest.fail "child missed the parent's cancellation"
+  | exception Budget.Exhausted Budget.Cancelled -> ());
+  checkb "token view agrees" true (Budget.Cancel.is_set tok);
+
+  (* Unlimited propagates only when the child adds no limit of its own;
+     any limit makes the child a real budget. *)
+  checkb "sub of unlimited stays unlimited" true
+    (Budget.is_unlimited (Budget.sub Budget.unlimited));
+  checkb "sub with fuel is limited" false
+    (Budget.is_unlimited (Budget.sub Budget.unlimited ~fuel:5))
+
 (* ---------- differential: budgets never change answers ---------- *)
 
 let game_pairs =
@@ -374,6 +431,75 @@ let test_decide_reports_method () =
     (o.Decide.verdict = Decide.Equivalent
     && o.Decide.answered_by = Some Decide.Hanf_locality)
 
+let test_ladder_rungs_under_injection () =
+  (* Force [Gave_up] out of the exact game with an injected fault and
+     check that each certificate rung below it answers — with the method
+     it names — and that every answer is sound. [Exhaust_at 1] kills the
+     game search on its first poll, before any position is explored, so
+     whichever rung answers is doing so on its own. *)
+  let inject = Budget.Exhaust_at 1 in
+  let decide ~rank a b =
+    Decide.equiv ~budget:(Budget.create ~inject ()) ~rank a b
+  in
+  (* A path of [n] vertices with one extra leaf hanging off vertex
+     [attach]: same degree multiset for any interior attach point, but
+     1-WL tells the shapes apart. *)
+  let caterpillar n attach =
+    let spine = List.init (n - 1) (fun i -> [| i; i + 1 |]) in
+    Fmtk_structure.Structure.make Fmtk_logic.Signature.graph ~size:(n + 1)
+      [ ("E", [| attach; n |] :: spine) ]
+  in
+
+  (* Rung 1 — 2-WL (C^3) census, sizes <= 96: one 12-cycle vs two
+     6-cycles agree on degrees and 1-WL but differ in C^3. *)
+  let o = decide ~rank:3 (Gen.cycle 12) (Gen.union_of [ Gen.cycle 6; Gen.cycle 6 ]) in
+  checkb "kwl rung verdict" true (o.Decide.verdict = Decide.Distinguishable);
+  checkb "kwl rung method" true (o.Decide.answered_by = Some Decide.Kwl_refinement);
+
+  (* Rung 2 — degree sequence, past the 2-WL size guard: a 100-cycle is
+     2-regular, a 100-path has two endpoints. *)
+  let o = decide ~rank:3 (Gen.cycle 100) (Gen.path 100) in
+  checkb "degree rung verdict" true (o.Decide.verdict = Decide.Distinguishable);
+  checkb "degree rung method" true
+    (o.Decide.answered_by = Some Decide.Degree_sequence);
+
+  (* Rung 3 — 1-WL census: caterpillars with the leaf near the end vs in
+     the middle share the degree multiset but refine apart. *)
+  let o = decide ~rank:3 (caterpillar 100 2) (caterpillar 100 50) in
+  checkb "wl rung verdict" true (o.Decide.verdict = Decide.Distinguishable);
+  checkb "wl rung method" true (o.Decide.answered_by = Some Decide.Wl_refinement);
+
+  (* Rung 4 — Hanf locality, both directions. Equivalent: every vertex
+     of one 120-cycle and of two 60-cycles sees the same radius-4 ball
+     (a 9-path), so rank-2 equivalence follows by Hanf's theorem.
+     Distinguishable: a 103-cycle vs a 100-cycle plus a triangle — the
+     triangle's radius-1 ball (3 vertices, 3 edges) appears nowhere in
+     the big cycle. Both pairs are 2-regular and size-matched, so every
+     earlier rung passes through. *)
+  let o = decide ~rank:2 (Gen.cycle 120) (Gen.union_of [ Gen.cycle 60; Gen.cycle 60 ]) in
+  checkb "hanf equivalent verdict" true (o.Decide.verdict = Decide.Equivalent);
+  checkb "hanf equivalent method" true
+    (o.Decide.answered_by = Some Decide.Hanf_locality);
+  let o = decide ~rank:1 (Gen.cycle 103) (Gen.union_of [ Gen.cycle 100; Gen.cycle 3 ]) in
+  checkb "hanf distinguishable verdict" true
+    (o.Decide.verdict = Decide.Distinguishable);
+  checkb "hanf distinguishable method" true
+    (o.Decide.answered_by = Some Decide.Hanf_locality);
+
+  (* Past every rung — identical large structures at a rank whose Hanf
+     radius is out of range: an honest Gave_up with no claimed method. *)
+  let o = decide ~rank:3 (Gen.cycle 100) (Gen.cycle 100) in
+  (match o.Decide.verdict with
+  | Decide.Gave_up _ -> checkb "gave-up names no method" true (o.Decide.answered_by = None)
+  | _ -> Alcotest.fail "rungless pair did not give up");
+
+  (* Soundness spot-check: the injected Distinguishable certificates all
+     name non-isomorphic pairs. *)
+  checkb "kwl certificate sound" false
+    (Iso.isomorphic (Gen.cycle 12) (Gen.union_of [ Gen.cycle 6; Gen.cycle 6 ]));
+  checkb "wl certificate sound" false
+    (Iso.isomorphic (caterpillar 100 2) (caterpillar 100 50))
+
 let test_classify_degrades () =
   let ts =
     [ Gen.set 4; Gen.set 5; Gen.complete 4; Gen.cycle 4; Gen.cycle 5 ]
@@ -578,6 +704,7 @@ let () =
       ( "budget",
         [
           Alcotest.test_case "primitives" `Quick test_budget_primitives;
+          Alcotest.test_case "sub-budgets" `Quick test_budget_sub;
           Alcotest.test_case "engines honour budgets" `Quick
             test_engines_honour_budgets;
         ] );
@@ -602,6 +729,8 @@ let () =
           Alcotest.test_case "decide ladder sound" `Slow test_decide_ladder_sound;
           Alcotest.test_case "decide reports method" `Quick
             test_decide_reports_method;
+          Alcotest.test_case "ladder rungs under injection" `Quick
+            test_ladder_rungs_under_injection;
           Alcotest.test_case "classify degrades" `Quick test_classify_degrades;
         ] );
       ( "parser-totality",
