@@ -818,6 +818,18 @@ module Compiled = Fmtk_eval.Compiled
    bench/run_bench.sh to emit BENCH_eval.json for perf tracking). *)
 let json_path : string option ref = ref None
 
+(* --workers N: cap for the forced fan-out and the E24/E26 worker-
+   scaling curves. The curves sweep the powers of two up to the cap
+   (and the cap itself), so `--workers 4` measures 1/2/4 domains. *)
+let workers_flag : int option ref = ref None
+
+let scaling_grid () =
+  match !workers_flag with
+  | None -> [ 1; 2; 4; 8 ]
+  | Some k ->
+      let base = List.filter (fun w -> w <= k) [ 1; 2; 4; 8 ] in
+      if List.mem k base then base else base @ [ k ]
+
 (* Direct wall-clock measurement: Bechamel's OLS is great for shapes, but
    the speedup table wants plain ratios of ns/run on identical work. *)
 let time_ns ~iters fn =
@@ -933,7 +945,11 @@ type e24_entry = {
 let e24 () =
   (* Forced fan-out: on single-domain containers the parallel columns
      measure the scheduling overhead honestly rather than hiding it. *)
-  let forced = max 4 (Domain.recommended_domain_count ()) in
+  let forced =
+    match !workers_flag with
+    | Some k -> k
+    | None -> max 4 (Domain.recommended_domain_count ())
+  in
   let entries = ref [] in
   pf "EF solver: orbit pruning x parallel fan-out (forced workers: %d,@."
     forced;
@@ -991,6 +1007,52 @@ let e24 () =
     (Gen.linear_order 16) 4;
   pf "Shape: orbit >= 5x on cycle workloads (C_n roots collapse 2n -> 2);@.";
   pf "rigid orders take the rigidity fast path (overhead < 5%%).@.";
+  (* Worker-scaling curve: the same solve forced through 1/2/4/8
+     domains (work-stealing deques, pooled workers, L1 memo tiers),
+     plus the automatic policy. Speedups are against the forced
+     workers=1 run — the sequential fast path — and the effective
+     worker count is reported next to the requested one, so a
+     single-core container shows up as requested=8/effective=8 with
+     speedup < 1 (honest overhead) and auto=1 with speedup 1.0, never
+     as a fabricated scaling curve. *)
+  let scale_rows = ref [] in
+  let grid = scaling_grid () in
+  pf "Worker scaling (orbit on; speedup vs forced workers=1):@.";
+  let scale_workload ~iters name a b rounds =
+    let run workers () =
+      Ef.solve
+        ~config:{ Ef.memo = true; parallel = true; workers; orbit = true }
+        ~rounds a b
+    in
+    let seq_v, _ = run (Some 1) () in
+    let seq_ns = time_ns ~iters (fun () -> fst (run (Some 1) ())) in
+    let verdicts_match = ref true in
+    let per_worker =
+      List.map
+        (fun w ->
+          let v, (s : Ef.stats) = run (Some w) () in
+          if v <> seq_v then verdicts_match := false;
+          let ns = time_ns ~iters (fun () -> fst (run (Some w) ())) in
+          pf "  %-28s workers=%d (effective %d): %11.0f ns, speedup %.2f@."
+            name w s.Ef.workers ns (seq_ns /. ns);
+          (w, s.Ef.workers, ns))
+        grid
+    in
+    let auto_v, (auto_s : Ef.stats) = run None () in
+    if auto_v <> seq_v then verdicts_match := false;
+    let auto_ns = time_ns ~iters (fun () -> fst (run None ())) in
+    pf "  %-28s auto (effective %d): %17.0f ns, speedup %.2f@." name
+      auto_s.Ef.workers auto_ns (seq_ns /. auto_ns);
+    scale_rows :=
+      (name, seq_ns, per_worker, auto_s.Ef.workers, auto_ns, !verdicts_match)
+      :: !scale_rows
+  in
+  scale_workload ~iters:3 "cycles C12 vs C13, 3 rounds" (Gen.cycle 12)
+    (Gen.cycle 13) 3;
+  scale_workload ~iters:3 "sets S10 vs S11, 4 rounds" (Gen.set 10)
+    (Gen.set 11) 4;
+  pf "Shape: auto never fans out past the hardware (speedup 1.0 on one@.";
+  pf "core); forced curves expose per-domain overhead on small cores.@.";
   match !json_path with
   | None -> ()
   | Some path ->
@@ -1018,6 +1080,28 @@ let e24 () =
             e.unpruned_positions e.orbit_positions
             (if i = List.length rows - 1 then "" else ",")
         )
+        rows;
+      out oc "  ],\n  \"worker_scaling\": [\n";
+      let rows = List.rev !scale_rows in
+      List.iteri
+        (fun i (name, seq_ns, per_worker, auto_workers, auto_ns, ok) ->
+          out oc "    {\"name\": %S, \"seq_ns\": %.1f, \"verdicts_match\": %b,\n"
+            name seq_ns ok;
+          out oc "     \"curve\": [";
+          List.iteri
+            (fun j (req, eff, ns) ->
+              out oc
+                "%s{\"requested\": %d, \"effective\": %d, \"ns\": %.1f, \
+                 \"parallel_speedup\": %.2f}"
+                (if j = 0 then "" else ", ")
+                req eff ns (seq_ns /. ns))
+            per_worker;
+          out oc "],\n";
+          out oc
+            "     \"auto\": {\"effective\": %d, \"ns\": %.1f, \
+             \"parallel_speedup\": %.2f}}%s\n"
+            auto_workers auto_ns (seq_ns /. auto_ns)
+            (if i = List.length rows - 1 then "" else ","))
         rows;
       out oc "  ]\n}\n";
       close_out oc;
@@ -1186,6 +1270,31 @@ let e26 () =
   in
   pf "  %-36s %12.0f ns %9d mismatches@." "E5: closed-form sweep (n <= 3)"
     e5_sweep_ns !e5_mismatches;
+  (* Worker-scaling curve through the kernel's parallel path (deques,
+     pooled domains, L1 memo tiers) on the E5 reference workload;
+     speedups against the forced workers=1 sequential fast path, with
+     the effective count reported so single-core results read as
+     overhead, not scaling. *)
+  let scale_name = "E5: orders L7 vs L9, 3 rounds" in
+  let scale_run workers () =
+    Ef.solve
+      ~config:{ Ef.memo = true; parallel = true; workers; orbit = true }
+      ~rounds:3 (Gen.linear_order 7) (Gen.linear_order 9)
+  in
+  let scale_seq_v, _ = scale_run (Some 1) () in
+  let scale_seq_ns = time_ns ~iters:3 (fun () -> fst (scale_run (Some 1) ())) in
+  let scale_match = ref true in
+  let scale_curve =
+    List.map
+      (fun w ->
+        let v, (s : Ef.stats) = scale_run (Some w) () in
+        if v <> scale_seq_v then scale_match := false;
+        let ns = time_ns ~iters:3 (fun () -> fst (scale_run (Some w) ())) in
+        pf "  %-36s workers=%d (eff %d): %.0f ns, speedup %.2f@." scale_name w
+          s.Ef.workers ns (scale_seq_ns /. ns);
+        (w, s.Ef.workers, ns))
+      (scaling_grid ())
+  in
   (* Part 2: C^k agreement grid — the bijective k-pebble counting game
      (unbounded rank approximated by rank r) against (k-1)-WL, which
      decides C^k equivalence exactly. The sound direction is an
@@ -1267,6 +1376,19 @@ let e26 () =
         rows;
       out oc "  ],\n  \"e5_sweep\": {\"ns\": %.1f, \"mismatches\": %d},\n"
         e5_sweep_ns !e5_mismatches;
+      out oc
+        "  \"worker_scaling\": {\"name\": %S, \"seq_ns\": %.1f, \
+         \"verdicts_match\": %b, \"curve\": ["
+        scale_name scale_seq_ns !scale_match;
+      List.iteri
+        (fun j (req, eff, ns) ->
+          out oc
+            "%s{\"requested\": %d, \"effective\": %d, \"ns\": %.1f, \
+             \"parallel_speedup\": %.2f}"
+            (if j = 0 then "" else ", ")
+            req eff ns (scale_seq_ns /. ns))
+        scale_curve;
+      out oc "]},\n";
       out oc "  \"agreement_grid\": [\n";
       let rows = List.rev !grid_rows in
       List.iteri
@@ -1649,6 +1771,14 @@ let () =
         | Some s when s > 0 -> (only, json, Some s)
         | _ ->
             Printf.eprintf "--deadline expects a positive second count\n";
+            exit 2)
+    | "--workers" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 ->
+            workers_flag := Some k;
+            parse rest
+        | _ ->
+            Printf.eprintf "--workers expects a positive domain count\n";
             exit 2)
     | _ :: rest -> parse rest
     | [] -> (None, None, None)

@@ -10,7 +10,9 @@
 #                             wrong verdicts, drain time)
 # --games-only skips the E23/E25 re-timing and refreshes only the game
 # trails (BENCH_games.json + BENCH_engine.json). Extra arguments are
-# passed through to bench/main.exe.
+# passed through to bench/main.exe; notably `--workers N` caps the
+# worker-scaling grid in E24/E26 at N domains (the curve becomes
+# {1,2,..,N}), for CI smoke runs on small machines.
 #
 # Every section runs under a per-case deadline (FMTK_BENCH_DEADLINE
 # seconds, default 600) so one pathological case cannot stall the run;

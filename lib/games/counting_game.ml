@@ -134,7 +134,7 @@ module Game = struct
      obligations (the matching couples all elements), so the root is a
      single task and the solve stays sequential — the kernel's fan-out
      simply never engages. *)
-  let root_tasks ctx pos = [ (fun ~recurse -> expand ctx ~recurse pos) ]
+  let tasks ctx pos = [ (fun ~recurse -> expand ctx ~recurse pos) ]
 
   let prepare_shared ctx =
     Structure.ensure_indexes ctx.a;

@@ -118,7 +118,7 @@ module Game = struct
          (fun y -> answer ctx ~recurse pos true y)
          (moves_of pos.ob ctx.dom_b)
 
-  let root_tasks ctx pos =
+  let tasks ctx pos =
     List.map
       (fun x ~recurse -> answer ctx ~recurse pos false x)
       (moves_of pos.oa ctx.dom_a)

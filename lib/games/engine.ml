@@ -4,12 +4,16 @@
    counting) is a back-and-forth search over packed positions; this
    module owns, exactly once, the machinery that used to be duplicated
    per solver: the packed int-array memo with budget-capped insertion,
-   the 64-way sharded shared memo for parallel runs, the work-stealing
-   [Domain.spawn] root fan-out with parked-exception draining, amortized
-   budget polling, the stats record and the three-valued verdict. A game
-   plugs in only its move semantics ({!GAME}). *)
+   amortized budget polling, the stats record, the three-valued
+   verdict, and — for parallel runs — a work-stealing runtime built on
+   per-worker Chase–Lev deques ({!Fmtk_runtime.Deque}), worker domains
+   from the process-wide {!Fmtk_runtime.Pool}, and a two-tier memo
+   (thread-local L1 over a 64-way sharded, claim-based shared table).
+   A game plugs in only its move semantics ({!GAME}). *)
 
 module Budget = Fmtk_runtime.Budget
+module Deque = Fmtk_runtime.Deque
+module Pool = Fmtk_runtime.Pool
 module Tbl = Packed.Tbl
 
 type config = { memo : bool; parallel : bool; workers : int option }
@@ -27,84 +31,135 @@ module type GAME = sig
   val key : ctx -> pos -> Packed.Key.t
   val terminal : ctx -> pos -> bool option
   val expand : ctx -> recurse:(pos -> bool) -> pos -> bool
-  val root_tasks : ctx -> pos -> (recurse:(pos -> bool) -> bool) list
+  val tasks : ctx -> pos -> (recurse:(pos -> bool) -> bool) list
   val prepare_shared : ctx -> unit
 end
 
-(* Sharded memo shared by all workers of one solve: key-hash -> shard,
-   mutex-guarded table per shard. A sequential solve ([locked = false])
-   uses one shard and skips the mutexes entirely — the lock-free fast
-   path. The parallel path must lock reads as well: a [Hashtbl] resize
-   concurrent with an unlocked [find_opt] is a data race in OCaml 5, so
-   "where safe" means single-worker. 64 shards keep contention low.
+(* Shared memo of one parallel solve: key-hash -> shard, mutex-guarded
+   table per shard. The parallel path must lock reads as well as
+   writes — a [Hashtbl] resize concurrent with an unlocked [find_opt]
+   is a data race in OCaml 5 — so each distinct position costs one
+   shard-lock acquisition (the claim); everything else is answered by
+   the worker's lock-free L1 tier, and completed values flow back in
+   per-shard batches ([store_batch]) rather than one lock round-trip
+   per value. 64 shards keep contention low.
 
-   A worker interrupted by [Budget.Exhausted] (or a fault injection)
-   between positions simply never writes the entry it was computing:
-   every stored value is the result of a completed subgame, so an
-   interrupted solve cannot poison a shard for the workers that
-   outlive it. *)
-module Memo = struct
-  type shard = { lock : Mutex.t; tbl : bool Tbl.t }
-  type t = { shards : shard array; mask : int; locked : bool }
+   Entries are claims: the first worker to reach a key installs
+   [In_progress] and owns both the expansion and the position count;
+   a worker that finds [In_progress] recomputes privately (sound —
+   values are deterministic per key) without counting, so [positions]
+   stays a count of distinct claimed positions. A worker interrupted
+   by [Budget.Exhausted] (or a fault injection) may leave an
+   [In_progress] claim behind; every [Done] value is the result of a
+   completed subgame, so an interrupted solve cannot poison the memo
+   for workers that outlive it — stale claims only cost racers a
+   recompute, and each solve builds a fresh table anyway. *)
+module Shared_memo = struct
+  type entry = In_progress | Done of bool
+  type shard = { lock : Mutex.t; tbl : entry Tbl.t }
+  type t = { shards : shard array; mask : int }
 
-  let create ~locked =
-    let n = if locked then 64 else 1 in
+  type outcome =
+    | Hit of bool  (* computed by some worker; use it *)
+    | Claimed  (* absent; this worker now owns expansion and count *)
+    | Racing  (* claimed elsewhere: recompute privately, don't count *)
+    | Miss  (* absent, but claiming is off (memo cap): expand and count *)
+
+  let shards = 64
+
+  let create () =
     {
       shards =
-        Array.init n (fun _ ->
+        Array.init shards (fun _ ->
             { lock = Mutex.create (); tbl = Tbl.create 1024 });
-      mask = n - 1;
-      locked;
+      mask = shards - 1;
     }
 
-  let shard m key = m.shards.(Packed.Key.hash key land m.mask)
+  let find_or_claim m key ~claim =
+    let s = m.shards.(Packed.Key.hash key land m.mask) in
+    Mutex.lock s.lock;
+    let r =
+      match Tbl.find_opt s.tbl key with
+      | Some (Done v) -> Hit v
+      | Some In_progress -> Racing
+      | None ->
+          if claim then begin
+            Tbl.replace s.tbl key In_progress;
+            Claimed
+          end
+          else Miss
+    in
+    Mutex.unlock s.lock;
+    r
 
-  let find_opt m key =
-    let s = shard m key in
-    if not m.locked then Tbl.find_opt s.tbl key
-    else begin
-      Mutex.lock s.lock;
-      let r = Tbl.find_opt s.tbl key in
-      Mutex.unlock s.lock;
-      r
-    end
-
-  let add m key v =
-    let s = shard m key in
-    if not m.locked then Tbl.replace s.tbl key v
-    else begin
-      Mutex.lock s.lock;
-      Tbl.replace s.tbl key v;
-      Mutex.unlock s.lock
-    end
+  (* Flush a worker's batch of completed values, one lock round-trip
+     per touched shard instead of one per value. *)
+  let store_batch m entries =
+    let buckets = Array.make shards [] in
+    List.iter
+      (fun ((key, _) as e) ->
+        let i = Packed.Key.hash key land m.mask in
+        buckets.(i) <- e :: buckets.(i))
+      entries;
+    Array.iteri
+      (fun i bucket ->
+        if bucket <> [] then begin
+          let s = m.shards.(i) in
+          Mutex.lock s.lock;
+          List.iter (fun (key, v) -> Tbl.replace s.tbl key (Done v)) bucket;
+          Mutex.unlock s.lock
+        end)
+      buckets
 end
 
-(* How many domains the root fan-out may use. [moves] is the number of
-   root tasks the game exposes (already symmetry-pruned by the game's
-   orbit oracles), so symmetric structures stay sequential — spawning
-   would cost more than the whole search. An explicit [workers = Some k]
-   forces the fan-out (tests use it to exercise the parallel path on any
-   machine). *)
+(* How many domains a solve may use. [moves] is the number of root
+   obligations the game exposes (already symmetry-pruned by the game's
+   orbit oracles): at most one obligation means there is nothing to
+   hand out and depth-aware splitting has no seed either, so the solve
+   stays sequential. Beyond that, an explicit [workers = Some k] is
+   taken as given — splitting regenerates work below the root, so [k]
+   no longer needs to be clamped to the root frontier width (tests use
+   it to exercise the parallel path deterministically on any machine) —
+   and the automatic policy fans out only games deep enough to split,
+   never past what the hardware offers. *)
 let worker_count config ~depth_hint ~moves =
-  if not config.parallel then 1
+  if (not config.parallel) || depth_hint < 1 || moves <= 1 then 1
   else
     match config.workers with
-    | Some k -> max 1 (min k moves)
+    | Some k -> max 1 k
     | None ->
-        if depth_hint < 2 || moves < 12 then 1
-        else min (min 8 (Domain.recommended_domain_count ())) moves
+        if depth_hint < 2 then 1
+        else min 8 (Domain.recommended_domain_count ())
+
+(* Raised inside a worker when [stop] is observed mid-search: unwinds
+   the worker's frame waits without touching pending counters (every
+   other waiter unwinds the same way, so nobody spins on them). *)
+exception Aborted
+
+(* Fork-join frame for one split position: [pending] obligations still
+   unfinished, [alive] cleared when any obligation fails (the
+   conjunction is false; waiters return early and stale tasks are
+   skipped). *)
+type frame = { pending : int Atomic.t; alive : bool Atomic.t }
 
 module Make (G : GAME) = struct
-  let solve_result ~config ~budget ~depth_hint ctx root =
+  (* One stealable unit of work: an obligation of [frame]'s position,
+     whose child recursions happen at [depth]. *)
+  type task = {
+    frame : frame;
+    depth : int;
+    run : recurse:(G.pos -> bool) -> bool;
+  }
+
+  let solve_result ~config ~budget ~depth_hint ?(split_depth = 3) ctx root =
     let finish verdict ~positions ~memo_hits ~workers =
       (verdict, { positions; memo_hits; workers })
     in
-    (* One searcher per worker: private counters and budget poller; the
-       memo (and whatever shared caches the game's context holds) is the
-       shared state. The budget is checked once per position entry, so
-       cancellation and deadlines take effect within one poll interval
-       of position visits. *)
-    let searcher memo poller =
+    (* The sequential fast path: one unlocked table, no atomics, no
+       claims — byte-for-byte the single-domain engine. *)
+    let sequential () =
+      let memo = Tbl.create 1024 in
+      let poller = Budget.poller budget in
       let explored = ref 0 and hits = ref 0 in
       let rec solve pos =
         Budget.check poller;
@@ -112,7 +167,7 @@ module Make (G : GAME) = struct
         | Some v -> v
         | None -> (
             let key = G.key ctx pos in
-            match if config.memo then Memo.find_opt memo key else None with
+            match if config.memo then Tbl.find_opt memo key else None with
             | Some v ->
                 incr hits;
                 v
@@ -122,83 +177,258 @@ module Make (G : GAME) = struct
                 (* Memory cap: past it, stop storing (sound — we only
                    lose sharing) rather than grow the table further. *)
                 if config.memo && Budget.memo_ok budget ~entries:!explored
-                then Memo.add memo key v;
+                then Tbl.replace memo key v;
                 v)
       in
-      (solve, explored, hits)
-    in
-    let sequential () =
-      let memo = Memo.create ~locked:false in
-      let solve, explored, hits = searcher memo (Budget.poller budget) in
       match solve root with
       | v -> finish (Ok v) ~positions:!explored ~memo_hits:!hits ~workers:1
       | exception Budget.Exhausted r ->
           finish (Error r) ~positions:!explored ~memo_hits:!hits ~workers:1
     in
-    let tasks = Array.of_list (G.root_tasks ctx root) in
-    let w = worker_count config ~depth_hint ~moves:(Array.length tasks) in
+    let root_tasks = Array.of_list (G.tasks ctx root) in
+    let w = worker_count config ~depth_hint ~moves:(Array.length root_tasks) in
     if depth_hint = 0 || w <= 1 then sequential ()
     else begin
-      (* Root fan-out over a work-stealing queue: workers claim the next
-         unexplored root task with an atomic counter, so one domain never
-         ends up holding all the hard subtrees the way static chunking
-         would. The memo is shared, so workers extend — not repeat — each
-         other's searches. [prepare_shared] forces whatever per-structure
-         caches the probes need (membership indexes) so workers never
-         write unguarded shared state.
+      (* Parallel path. Work lives in per-worker Chase–Lev deques: a
+         worker expanding a position above the split-depth cutoff
+         publishes the position's obligations as tasks in its own deque
+         (bottom = deepest, so thieves take the shallowest — largest —
+         subtree) and then helps: it pops its own deque, steals from
+         the others, and only naps when everything is empty. Parallelism
+         therefore regenerates below the root instead of dying when
+         orbit pruning collapses the root frontier to fewer obligations
+         than workers.
 
-         Failure discipline: a worker never lets an exception escape into
-         [Domain.join]. The first failure (budget exhaustion or a real
-         fault) is parked in [failure] and [stop] makes every other
-         worker bail out at its next poll or root-claim; the coordinator
-         joins ALL domains before acting on it, so no domain is ever
-         leaked, and counters are flushed on the way out so stats survive
-         a [Gave_up]. *)
+         Failure discipline: a worker never lets an exception escape
+         into its pool handle. The first failure (budget exhaustion or
+         a real fault) is parked in the worker's own [failures] slot
+         and [stop] makes every other worker unwind at its next spin
+         check; the coordinator joins ALL handles before acting, so no
+         domain is leaked, a real fault is preferred over a secondary
+         budget exhaustion when both were parked, and counters are
+         flushed on the way out so stats survive a [Gave_up]. *)
       G.prepare_shared ctx;
-      let memo = Memo.create ~locked:true in
-      let next = Atomic.make 0 in
-      let refuted = Atomic.make false in
+      let shared = Shared_memo.create () in
+      let deques = Array.init w (fun _ -> Deque.create ~capacity:1024 ()) in
+      let root_frame =
+        {
+          pending = Atomic.make (Array.length root_tasks);
+          alive = Atomic.make true;
+        }
+      in
+      (* Seed the deques round-robin before any worker starts (pushes
+         by a non-owner are fine here: [Pool.spawn] publishes them). *)
+      Array.iteri
+        (fun i run ->
+          ignore (Deque.push deques.(i mod w) { frame = root_frame; depth = 1; run }))
+        root_tasks;
       let stop = Atomic.make false in
-      let failure = Atomic.make None in
+      let failures = Array.make w None in
       let positions = Atomic.make 1 (* the root position itself *) in
       let hits_total = Atomic.make 0 in
-      let worker ~spawned () =
+      let worker idx ~spawned () =
         let poller =
           if spawned then Budget.worker_poller budget else Budget.poller budget
         in
-        let solve, explored, hits = searcher memo poller in
+        let own = deques.(idx) in
+        (* Depth (from the root) of the positions the current [recurse]
+           calls evaluate; saved and restored around every task, which
+           carries its own depth. *)
+        let cur_depth = ref 1 in
+        let l1 = Tbl.create 1024 in
+        let flush_buf = ref [] and flush_n = ref 0 in
+        let explored = ref 0 and hits = ref 0 in
+        let flush () =
+          if !flush_buf <> [] then begin
+            Shared_memo.store_batch shared !flush_buf;
+            flush_buf := [];
+            flush_n := 0
+          end
+        in
+        let idle_check () =
+          if Atomic.get stop then raise Aborted;
+          (match Budget.exhausted budget with
+          | Some r -> raise (Budget.Exhausted r)
+          | None -> ());
+          Pool.nap ()
+        in
+        let try_steal () =
+          let rec scan j =
+            if j = w then None
+            else
+              let v = j + idx + 1 in
+              let victim = deques.(if v >= w then v - w else v) in
+              match Deque.steal victim with
+              | Some _ as t -> t
+              | None -> scan (j + 1)
+          in
+          scan 0
+        in
+        let rec solve pos =
+          Budget.check poller;
+          match G.terminal ctx pos with
+          | Some v -> v
+          | None ->
+              if not config.memo then begin
+                incr explored;
+                eval pos
+              end
+              else begin
+                let key = G.key ctx pos in
+                match Tbl.find_opt l1 key with
+                | Some v ->
+                    incr hits;
+                    v
+                | None -> (
+                    let can_store =
+                      Budget.memo_ok budget ~entries:!explored
+                    in
+                    match
+                      Shared_memo.find_or_claim shared key ~claim:can_store
+                    with
+                    | Shared_memo.Hit v ->
+                        incr hits;
+                        if can_store then Tbl.replace l1 key v;
+                        v
+                    | Shared_memo.Claimed ->
+                        incr explored;
+                        let v = eval pos in
+                        Tbl.replace l1 key v;
+                        flush_buf := (key, v) :: !flush_buf;
+                        incr flush_n;
+                        if !flush_n >= 32 then flush ();
+                        v
+                    | Shared_memo.Racing ->
+                        (* Claimed elsewhere: recompute privately (the
+                           claimer owns the count). *)
+                        let v = eval pos in
+                        if can_store then Tbl.replace l1 key v;
+                        v
+                    | Shared_memo.Miss ->
+                        (* Past the memo cap: expand without storing,
+                           exactly like the sequential engine. *)
+                        incr explored;
+                        eval pos)
+              end
+        and eval pos =
+          let d = !cur_depth in
+          if d < split_depth then
+            match G.tasks ctx pos with
+            | [ run ] ->
+                (* A single obligation: splitting buys nothing. *)
+                cur_depth := d + 1;
+                let v = run ~recurse:solve in
+                cur_depth := d;
+                v
+            | [] -> expand_here pos d
+            | obligations -> split d obligations
+          else expand_here pos d
+        and expand_here pos d =
+          cur_depth := d + 1;
+          let v = G.expand ctx ~recurse:solve pos in
+          cur_depth := d;
+          v
+        and split d obligations =
+          let frame =
+            {
+              pending = Atomic.make (List.length obligations);
+              alive = Atomic.make true;
+            }
+          in
+          List.iter
+            (fun run ->
+              let t = { frame; depth = d + 1; run } in
+              (* Full deque: run the obligation inline — exactly what
+                 the sequential engine would have done. *)
+              if not (Deque.push own t) then exec t)
+            obligations;
+          wait_frame frame
+        and exec t =
+          if Atomic.get t.frame.alive then begin
+            if Atomic.get stop then raise Aborted;
+            let saved = !cur_depth in
+            cur_depth := t.depth;
+            let v = t.run ~recurse:solve in
+            cur_depth := saved;
+            if not v then Atomic.set t.frame.alive false
+          end;
+          ignore (Atomic.fetch_and_add t.frame.pending (-1))
+        and wait_frame frame =
+          (* Help-first wait: while our obligations are outstanding,
+             run whatever work exists anywhere — our own deque first,
+             then steal — so a frame whose tasks were stolen by a
+             worker that has since moved on still completes. *)
+          if not (Atomic.get frame.alive) then false
+          else if Atomic.get frame.pending = 0 then Atomic.get frame.alive
+          else begin
+            (match Deque.pop own with
+            | Some t -> exec t
+            | None -> (
+                match try_steal () with
+                | Some t -> exec t
+                | None -> idle_check ()));
+            wait_frame frame
+          end
+        in
+        let rec main_loop () =
+          if
+            Atomic.get root_frame.pending > 0
+            && Atomic.get root_frame.alive
+            && not (Atomic.get stop)
+          then begin
+            (match Deque.pop own with
+            | Some t -> exec t
+            | None -> (
+                match try_steal () with
+                | Some t -> exec t
+                | None -> idle_check ()));
+            main_loop ()
+          end
+        in
         (try
-           let rec loop () =
-             if not (Atomic.get refuted) && not (Atomic.get stop) then begin
-               let i = Atomic.fetch_and_add next 1 in
-               if i < Array.length tasks then begin
-                 if not (tasks.(i) ~recurse:solve) then
-                   Atomic.set refuted true;
-                 loop ()
-               end
-             end
-           in
-           loop ()
-         with e ->
-           ignore (Atomic.compare_and_set failure None (Some e));
-           Atomic.set stop true);
+           (* Validate the budget before taking any work: a worker of a
+              solve that is already out of (or about to run out of)
+              budget should park that, not race the coordinator to the
+              finish. Also what makes [Raise_in_worker] deterministic:
+              every spawned worker polls at least once. *)
+           Budget.check poller;
+           main_loop ()
+         with
+        | Aborted -> ()
+        | e ->
+            failures.(idx) <- Some e;
+            Atomic.set stop true);
+        (* Completed values are sound even after a fault; publish them
+           so surviving workers share them, then flush counters. *)
+        (try flush () with _ -> ());
         ignore (Atomic.fetch_and_add positions !explored);
         ignore (Atomic.fetch_and_add hits_total !hits)
       in
-      let domains =
-        Array.init (w - 1) (fun _ -> Domain.spawn (worker ~spawned:true))
+      let pool = Pool.shared () in
+      let handles =
+        Array.init (w - 1) (fun j -> Pool.spawn pool (worker (j + 1) ~spawned:true))
       in
-      worker ~spawned:false ();
-      Array.iter Domain.join domains;
+      worker 0 ~spawned:false ();
+      (* Release workers still help-waiting on frames orphaned by an
+         early refutation, then join every handle before deciding. *)
+      Atomic.set stop true;
+      Array.iter Pool.join handles;
       let positions = Atomic.get positions
       and memo_hits = Atomic.get hits_total in
-      match Atomic.get failure with
-      | Some (Budget.Exhausted r) ->
-          finish (Error r) ~positions ~memo_hits ~workers:w
+      let parked = Array.to_list failures |> List.filter_map Fun.id in
+      match
+        List.find_opt
+          (function Budget.Exhausted _ -> false | _ -> true)
+          parked
+      with
       | Some e -> raise e
-      | None ->
-          finish
-            (Ok (not (Atomic.get refuted)))
-            ~positions ~memo_hits ~workers:w
+      | None -> (
+          match parked with
+          | Budget.Exhausted r :: _ ->
+              finish (Error r) ~positions ~memo_hits ~workers:w
+          | _ ->
+              finish
+                (Ok (Atomic.get root_frame.alive))
+                ~positions ~memo_hits ~workers:w)
     end
 end

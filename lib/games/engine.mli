@@ -4,43 +4,59 @@
     games as one method with interchangeable move semantics; this module
     is that method, as code. A game supplies its {e move semantics} — a
     position type, a packed memo key, the expansion of a position into a
-    duplicator-survival value, and the decomposition of the root into
+    duplicator-survival value, and the decomposition of a position into
     independent obligations — and the kernel supplies, exactly once:
 
     - memoization under packed int-array keys ({!Packed}), with the
       budget's memo cap honoured on insertion;
-    - a 64-way sharded, mutex-guarded shared memo for parallel runs
-      (single unlocked shard on the sequential path);
-    - a work-stealing [Domain.spawn] fan-out over the root obligations,
-      with parked-exception draining — the coordinator joins every
-      domain before re-raising, so no domain leaks and the shared memo
-      holds only completed entries;
+    - for parallel runs, a two-tier memo: a thread-local L1 table per
+      worker (lock-free, answers repeat visits within a worker) over a
+      64-way sharded, mutex-guarded shared table that workers flush
+      completed batches into; the sequential path keeps its single
+      unlocked table — the lock-free fast path, unchanged;
+    - a work-distribution runtime built on per-worker Chase–Lev deques
+      ({!Fmtk_runtime.Deque}): a worker expanding a position above the
+      split-depth cutoff publishes the position's conjunctive
+      obligations as stealable tasks, so parallelism {e regenerates
+      below the root} instead of dying when orbit pruning collapses the
+      root frontier; idle workers steal the shallowest (largest)
+      published subtree;
+    - worker domains drawn from the process-wide
+      {!Fmtk_runtime.Pool} — no [Domain.spawn] per solve — with
+      per-worker parked exceptions drained after every domain is
+      joined, so no domain leaks and a real fault is never masked by a
+      secondary budget exhaustion;
     - amortized budget polling (one {!Fmtk_runtime.Budget.check} per
       position), turning deadlines, fuel, memory caps and cross-domain
-      cancellation into {!verdict}s rather than wrong answers;
-    - a {!stats} record aggregated atomically across workers.
+      cancellation into {!verdict}s rather than wrong answers — stolen
+      tasks poll through the stealing worker's own poller;
+    - a {!stats} record aggregated across workers.
 
     {!Ef}, {!Pebble} and {!Counting_game} are the three instances. *)
 
 module Budget = Fmtk_runtime.Budget
 
 (** Kernel configuration, shared by every instance. [memo] caches
-    positions under their packed keys; [parallel] enables the root
-    fan-out when the game is big enough; [workers] overrides the
-    automatic worker count ([Some 1] forces the sequential path,
-    [Some k] forces a [k]-domain fan-out — tests use it to exercise the
-    parallel path deterministically). *)
+    positions under their packed keys; [parallel] enables the fan-out
+    when the game is big enough; [workers] overrides the automatic
+    worker count ([Some 1] forces the sequential path, [Some k] forces
+    a [k]-domain fan-out — tests use it to exercise the parallel path
+    deterministically on any machine). *)
 type config = { memo : bool; parallel : bool; workers : int option }
 
 val default_config : config
 
 (** Counters of one solve, returned on decided AND on gave-up runs.
-    [positions] is the number of distinct positions expanded (memo
-    misses); [memo_hits] the number of searches answered from the memo;
-    [workers] the domains actually used. In parallel runs the counters
-    are aggregated atomically across workers; position counts can vary
-    slightly run to run because workers race to expand the same
-    position. *)
+    [positions] is the number of distinct positions expanded; in
+    parallel memoized runs a position is counted by the worker that
+    {e claims} its key in the shared memo, so racing workers never
+    count the same position twice. [memo_hits] is the number of
+    searches answered from a memo tier; [workers] the domains actually
+    used (the effective count — 1 means the sequential fast path
+    ran). Parallel runs may expand (and count) obligations a
+    sequential run would have short-circuited past, so position counts
+    across worker counts agree exactly when no obligation fails and
+    can differ slightly when one does; verdicts never differ. *)
 type stats = { positions : int; memo_hits : int; workers : int }
 
 (** Three-valued outcome of a budgeted solve. [Gave_up r] means the
@@ -73,24 +89,34 @@ module type GAME = sig
       stats); the game must funnel every child through it. *)
   val expand : ctx -> recurse:(pos -> bool) -> pos -> bool
 
-  (** Decomposition of the root position into independent obligations
-      whose conjunction is the root value — the units of the parallel
-      fan-out. Construction must be cheap and must not invoke [recurse];
-      each task is run with the claiming worker's own [recurse]. Games
-      whose root does not decompose (the counting game's bijection move)
-      return a singleton, which keeps the solve sequential. *)
-  val root_tasks : ctx -> pos -> (recurse:(pos -> bool) -> bool) list
+  (** Decomposition of a non-terminal position into independent
+      obligations whose conjunction is the position's value — the units
+      of parallel work. Must agree with [expand] at every position (the
+      kernel uses it at the root and, below the split-depth cutoff, in
+      place of [expand]); construction must be cheap and must not
+      invoke [recurse] — each obligation runs with the executing
+      worker's own [recurse]. Games whose positions do not decompose
+      (the counting game's bijection move) return a singleton, which
+      keeps the solve sequential. *)
+  val tasks : ctx -> pos -> (recurse:(pos -> bool) -> bool) list
 
-  (** Called once before domains are spawned: force lazily-built caches
+  (** Called once before workers start: force lazily-built caches
       (membership indexes) that workers would otherwise race to
       initialize. *)
   val prepare_shared : ctx -> unit
 end
 
-(** Worker-count policy, exposed for tests: 1 unless [parallel] and the
-    game is deep ([depth_hint >= 2]) and wide ([moves >= 12]) enough;
-    capped by [Domain.recommended_domain_count] and 8. An explicit
-    [workers = Some k] overrides everything (clamped to [moves]). *)
+(** Worker-count policy, exposed for tests. 1 (the sequential fast
+    path) when [parallel] is off, the game is shallow
+    ([depth_hint < 1]) or the root frontier has at most one obligation
+    ([moves <= 1] — nothing to distribute and splitting cannot start).
+    Otherwise an explicit [workers = Some k] is used as given — deque
+    splitting regenerates work below the root, so [k] is no longer
+    clamped to the root frontier width — and the automatic policy
+    takes [min 8 (Domain.recommended_domain_count ())] for games deep
+    enough to split ([depth_hint >= 2]), i.e. 1 on a single-core
+    machine: parallelism is never forced on hardware that cannot run
+    it. *)
 val worker_count : config -> depth_hint:int -> moves:int -> int
 
 module Make (G : GAME) : sig
@@ -98,12 +124,16 @@ module Make (G : GAME) : sig
       game from [root]: [Ok win] on a decided game, [Error reason] when
       the budget ran out first. Stats are returned in both cases.
       [depth_hint] (the round count) gates the parallel fan-out — a
-      0-depth game is never fanned out. Exceptions other than budget
-      exhaustion propagate (after every domain is joined). *)
+      0-depth game is never fanned out. [split_depth] (default 3) is
+      the cutoff below the root down to which expanded positions
+      publish their obligations as stealable tasks; 0 restores
+      root-only distribution. Exceptions other than budget exhaustion
+      propagate (after every domain is joined). *)
   val solve_result :
     config:config ->
     budget:Budget.t ->
     depth_hint:int ->
+    ?split_depth:int ->
     G.ctx ->
     G.pos ->
     (bool, Budget.reason) result * stats

@@ -130,7 +130,7 @@ module Game = struct
   (* One obligation per (base, spoiler move); at the usual empty root
      there is a single base, so this is the same spoiler-move fan-out as
      the EF game. *)
-  let root_tasks ctx pos =
+  let tasks ctx pos =
     List.concat_map
       (fun base ->
         let base_pairs = Packed.to_pairs ~span:ctx.span base in

@@ -1,0 +1,74 @@
+(* Chase–Lev work-stealing deque — see deque.mli for the contract and
+   the deviations from the SPAA'05 paper (fixed capacity, atomic
+   slots).
+
+   Invariants: [top <= bottom + 1]; live entries occupy indices
+   [top .. bottom - 1] modulo the ring; a slot is written (by the
+   owner, at push) strictly before [bottom] advances past it, and a
+   slot index is never reused until [top] has advanced past it (the
+   full check in [push] guarantees the ring never wraps onto an
+   unstolen entry), so a thief that observed [top < bottom] and then
+   CAS-won [top] read a valid value. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  slots : 'a option Atomic.t array;
+  mask : int;
+}
+
+let create ?(capacity = 256) () =
+  let cap =
+    let rec up n = if n >= capacity then n else up (n * 2) in
+    up 8
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    slots = Array.init cap (fun _ -> Atomic.make None);
+    mask = cap - 1;
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp > t.mask then false
+  else begin
+    Atomic.set t.slots.(b land t.mask) (Some v);
+    Atomic.set t.bottom (b + 1);
+    true
+  end
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Already empty: undo the reservation. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then
+    (* At least two entries: the bottom one is unreachable by thieves
+       (they contend at [top]), so taking it needs no CAS. *)
+    Atomic.exchange t.slots.(b land t.mask) None
+  else begin
+    (* Last entry: race thieves for it via the [top] CAS. *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Atomic.exchange t.slots.(b land t.mask) None else None
+  end
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else
+    match Atomic.get t.slots.(tp land t.mask) with
+    | None ->
+        (* The owner is taking this last entry right now; it will win
+           (or has won) the [top] CAS. Report empty-handed. *)
+        None
+    | Some _ as v -> if Atomic.compare_and_set t.top tp (tp + 1) then v else None

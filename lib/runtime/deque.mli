@@ -1,0 +1,41 @@
+(** Chase–Lev work-stealing deque, fixed capacity.
+
+    One owner domain pushes and pops at the bottom (LIFO — the hot,
+    mostly-uncontended end); any other domain steals from the top
+    (FIFO — the oldest, and for depth-aware task splitting therefore
+    the {e shallowest and largest} subtree, which is exactly what a
+    starving worker wants). The classic algorithm (Chase & Lev,
+    "Dynamic circular work-stealing deque", SPAA'05) arbitrates the
+    one contended case — one element left, owner popping while a thief
+    steals — with a single CAS on [top].
+
+    This implementation deviates from the paper in one deliberate way:
+    the buffer does not grow. [push] reports failure when the ring is
+    full and the caller runs the task inline instead — for a game
+    search that is not only sound but {e desirable}: it bounds the
+    published-task backlog per worker, and an inline run is exactly
+    what the sequential engine would have done anyway. Slots are
+    ['a option Atomic.t] so every cross-domain access is a program-
+    order-respecting atomic under the OCaml 5 memory model; no slot is
+    ever read non-atomically. *)
+
+type 'a t
+
+(** [create ?capacity ()] — capacity is rounded up to a power of two
+    (default 256). *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Owner end. [push t v] is false when the ring is full — run [v]
+    inline. *)
+val push : 'a t -> 'a -> bool
+
+(** Owner end. [None] when the deque is empty (or a thief won the race
+    for the last element). *)
+val pop : 'a t -> 'a option
+
+(** Thief end, callable from any domain. [None] means empty {e or} a
+    lost race — callers treat both as "nothing here, move on". *)
+val steal : 'a t -> 'a option
+
+(** Approximate occupancy (racy; for heuristics and tests only). *)
+val size : 'a t -> int

@@ -1,0 +1,211 @@
+(* Reusable domain pool — see pool.mli.
+
+   Shapes: a [job] is a one-shot cell the spawner and one pool domain
+   share (mutex + condvar, state Pending -> Done/Failed); a [slot] is
+   a pool domain's mailbox (mutex-guarded next job or stop flag). The
+   pool itself only tracks the parked-slot list and counters under one
+   mutex — no lock is ever held while running user code, and [spawn]
+   never blocks on a busy domain, so nested spawns from pool jobs
+   cannot deadlock.
+
+   Parked domains are NOT free under OCaml 5: every live domain —
+   including one blocked on a condition variable — participates in
+   every stop-the-world minor collection, and on a small machine a
+   handful of idle domains measurably taxes whatever sequential code
+   runs next. So a parked domain polls its mailbox with exponential
+   backoff and, once idle past the grace window, removes itself and
+   exits: reuse is fast exactly where it matters (back-to-back solves,
+   micro-gaps between a solve's workers) and a long sequential phase
+   pays the idle-domain tax for at most one grace window. *)
+
+type state = Pending | Done | Failed of exn
+
+type job = {
+  jm : Mutex.t;
+  jcv : Condition.t;
+  f : unit -> unit;
+  mutable state : state;
+}
+
+type handle = job
+
+type slot = {
+  sm : Mutex.t;
+  mutable mail : job option;
+  mutable stop : bool;
+  mutable domain : unit Domain.t option; (* set once, right after spawn *)
+}
+
+type t = {
+  pm : Mutex.t;
+  mutable parked : slot list;
+  mutable shut : bool;
+  mutable spawned_total : int;
+  mutable dispatched : int;
+  max_parked : int;
+  idle_grace : float; (* seconds a parked domain survives without work *)
+}
+
+let create ?(max_parked = 8) ?(idle_grace = 0.05) () =
+  {
+    pm = Mutex.create ();
+    parked = [];
+    shut = false;
+    spawned_total = 0;
+    dispatched = 0;
+    max_parked = max 0 max_parked;
+    idle_grace = Float.max 0. idle_grace;
+  }
+
+let finish job st =
+  Mutex.lock job.jm;
+  job.state <- st;
+  Condition.broadcast job.jcv;
+  Mutex.unlock job.jm
+
+(* One pool domain: run the job in hand, then park (or exit when the
+   pool is full or shut); parked, poll the mailbox with backoff until
+   the next job, a stop, or the grace window runs out. *)
+let rec serve pool slot job =
+  (match job.f () with
+  | () -> finish job Done
+  | exception e -> finish job (Failed e));
+  let park =
+    Mutex.lock pool.pm;
+    let keep =
+      (not pool.shut) && List.length pool.parked < pool.max_parked
+    in
+    if keep then pool.parked <- slot :: pool.parked;
+    Mutex.unlock pool.pm;
+    keep
+  in
+  if park then
+    let deadline = Unix.gettimeofday () +. pool.idle_grace in
+    wait pool slot deadline 5e-5
+
+and wait pool slot deadline nap_s =
+  Mutex.lock slot.sm;
+  let mail = slot.mail in
+  slot.mail <- None;
+  let stopped = slot.stop in
+  Mutex.unlock slot.sm;
+  match mail with
+  | Some j -> serve pool slot j
+  | None ->
+      if stopped then ()
+      else if Unix.gettimeofday () > deadline then begin
+        (* Expire: remove ourselves from the parked list — unless a
+           spawner already took us, in which case its mail is in
+           flight and we must keep waiting for it. *)
+        Mutex.lock pool.pm;
+        let mine = List.memq slot pool.parked in
+        if mine then pool.parked <- List.filter (fun s -> s != slot) pool.parked;
+        Mutex.unlock pool.pm;
+        if not mine then wait pool slot deadline nap_s
+      end
+      else begin
+        Unix.sleepf nap_s;
+        wait pool slot deadline (Float.min (nap_s *. 2.) 2e-3)
+      end
+
+let spawn pool f =
+  let job =
+    { jm = Mutex.create (); jcv = Condition.create (); f; state = Pending }
+  in
+  Mutex.lock pool.pm;
+  if pool.shut then begin
+    Mutex.unlock pool.pm;
+    invalid_arg "Fmtk_runtime.Pool.spawn: pool is shut down"
+  end;
+  pool.dispatched <- pool.dispatched + 1;
+  (match pool.parked with
+  | slot :: rest ->
+      pool.parked <- rest;
+      Mutex.unlock pool.pm;
+      Mutex.lock slot.sm;
+      slot.mail <- Some job;
+      Mutex.unlock slot.sm
+  | [] ->
+      pool.spawned_total <- pool.spawned_total + 1;
+      Mutex.unlock pool.pm;
+      let slot =
+        { sm = Mutex.create (); mail = None; stop = false; domain = None }
+      in
+      let d = Domain.spawn (fun () -> serve pool slot job) in
+      (* Publish the handle under the pool mutex so a later [shutdown]
+         (which reads under the same mutex) is guaranteed to see it. *)
+      Mutex.lock pool.pm;
+      slot.domain <- Some d;
+      Mutex.unlock pool.pm);
+  job
+
+let join job =
+  Mutex.lock job.jm;
+  while job.state = Pending do
+    Condition.wait job.jcv job.jm
+  done;
+  let st = job.state in
+  Mutex.unlock job.jm;
+  match st with Failed e -> raise e | _ -> ()
+
+let shutdown pool =
+  Mutex.lock pool.pm;
+  pool.shut <- true;
+  let parked = pool.parked in
+  pool.parked <- [];
+  Mutex.unlock pool.pm;
+  (* Flag every parked domain to stop (observed within one backoff
+     nap), then join them. Busy domains are not waited for: they will
+     fail to park (shut is set) and exit after their job, which their
+     handle still observes. *)
+  List.iter
+    (fun slot ->
+      Mutex.lock slot.sm;
+      slot.stop <- true;
+      Mutex.unlock slot.sm)
+    parked;
+  List.iter
+    (fun slot -> match slot.domain with Some d -> Domain.join d | None -> ())
+    parked
+
+let spawned_total pool =
+  Mutex.lock pool.pm;
+  let n = pool.spawned_total in
+  Mutex.unlock pool.pm;
+  n
+
+let dispatched pool =
+  Mutex.lock pool.pm;
+  let n = pool.dispatched in
+  Mutex.unlock pool.pm;
+  n
+
+let parked_count pool =
+  Mutex.lock pool.pm;
+  let n = List.length pool.parked in
+  Mutex.unlock pool.pm;
+  n
+
+let shared_pool = ref None
+let shared_mutex = Mutex.create ()
+
+let shared () =
+  Mutex.lock shared_mutex;
+  let p =
+    match !shared_pool with
+    | Some p -> p
+    | None ->
+        let p =
+          create ~max_parked:(max 8 (Domain.recommended_domain_count ())) ()
+        in
+        shared_pool := Some p;
+        (* Parked domains must not outlive main: stop and join them at
+           exit. Busy domains are their spawner's to join (the engine
+           and the server both join every handle before returning). *)
+        at_exit (fun () -> shutdown p);
+        p
+  in
+  Mutex.unlock shared_mutex;
+  p
+
+let nap () = Unix.sleepf 5e-5

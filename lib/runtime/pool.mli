@@ -1,0 +1,78 @@
+(** A reusable, lazily-sized domain pool.
+
+    [Domain.spawn] costs tens of microseconds (a fresh minor heap, a
+    runtime handshake) — cheap once, ruinous when every solve of a
+    game pays it per worker and a service pays it per restart. The
+    pool keeps finished domains {e parked} on a condition variable and
+    hands them the next job instead: the first [spawn] after startup
+    creates a domain, every later one reuses a parked domain in ~1 µs.
+
+    Semantics mirror [Domain.spawn]/[Domain.join]:
+    - [spawn pool f] starts [f] on some domain immediately (never
+      queues behind other jobs — a parked domain is reused, otherwise
+      a fresh one is created, so jobs cannot deadlock on pool
+      capacity);
+    - [join handle] blocks until [f] returns and re-raises in the
+      joining domain any exception [f] let escape.
+
+    The pool is safe to use from any domain, including from a job
+    running on the pool itself (nested spawns never block on pool
+    state). At most [max_parked] idle domains are retained; surplus
+    domains exit after their job.
+
+    Parked domains expire. Under OCaml 5 an idle domain is not free —
+    it participates in every stop-the-world collection, and a handful
+    of parked domains measurably slows whatever sequential code runs
+    next on a small machine. A parked domain therefore exits after
+    [idle_grace] seconds (default 0.05) without work: back-to-back
+    parallel solves reuse warm domains, while a long sequential phase
+    pays the idle-domain tax for at most one grace window.
+
+    Both the game engine's parallel fan-out and [Fmtk_server]'s worker
+    pool are clients of the process-wide {!shared} pool, so a server
+    that has drained donates its warm domains to the next solve and
+    vice versa. *)
+
+type t
+
+type handle
+
+(** [create ?max_parked ?idle_grace ()] — a private pool (tests,
+    mostly). [max_parked] defaults to 8, [idle_grace] (seconds an idle
+    domain is retained) to 0.05. *)
+val create : ?max_parked:int -> ?idle_grace:float -> unit -> t
+
+(** The process-wide pool. Created on first use; its parked domains
+    are stopped and joined by an [at_exit] hook. *)
+val shared : unit -> t
+
+(** Run [f] on a pooled domain. Raises [Invalid_argument] on a pool
+    that was [shutdown]. *)
+val spawn : t -> (unit -> unit) -> handle
+
+(** Wait for the job; re-raise its escaped exception, if any. Joining
+    the same handle from several domains is allowed; each joiner
+    observes the result. *)
+val join : handle -> unit
+
+(** Stop and join the parked domains. Busy domains finish their
+    current job, then exit instead of parking (their handles remain
+    joinable). Subsequent [spawn]s raise. *)
+val shutdown : t -> unit
+
+(** Cumulative number of domains this pool ever created — the reuse
+    metric: [spawned_total] stays flat while [dispatched] grows when
+    parking works. *)
+val spawned_total : t -> int
+
+(** Cumulative number of jobs handed to the pool. *)
+val dispatched : t -> int
+
+(** Current number of parked (idle, warm) domains. *)
+val parked_count : t -> int
+
+(** [nap ()] — a ~50 µs sleep, the polite busy-wait backoff for
+    schedulers built on the pool: long enough to let a preempted peer
+    run on an oversubscribed machine, short enough to be noise when
+    cores are free. *)
+val nap : unit -> unit

@@ -667,8 +667,15 @@ let addr_to_string = function
 let run t =
   (* A client hanging up mid-response must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* Worker domains come from the process-wide runtime pool rather than
+     a private [Domain.spawn] per restart: a server that has drained
+     parks its warm domains for the next solve (or the next server),
+     and vice versa. The handles are joined on shutdown exactly as the
+     raw domains were. *)
+  let pool = Fmtk_runtime.Pool.shared () in
   let workers =
-    Array.init t.cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t))
+    Array.init t.cfg.workers (fun _ ->
+        Fmtk_runtime.Pool.spawn pool (fun () -> worker_loop t))
   in
   log t
     (Printf.sprintf "listening on %s (%d workers, max %d in-flight)"
@@ -736,7 +743,7 @@ let run t =
   Mutex.lock t.qmutex;
   Condition.broadcast t.qcond;
   Mutex.unlock t.qmutex;
-  Array.iter Domain.join workers;
+  Array.iter Fmtk_runtime.Pool.join workers;
   Mutex.lock conn_mutex;
   let conns_now = !conn_list in
   Mutex.unlock conn_mutex;

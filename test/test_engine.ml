@@ -323,6 +323,148 @@ let test_api_parity () =
        ~depth_hint:1 ~moves:10
     = 5)
 
+(* ---------- Parallel vs sequential: the differential suite ---------- *)
+
+(* The parallel path is a different machine (work-stealing deques, a
+   claim-based shared memo, pooled domains) computing the same
+   function; these tests pin the agreement down across worker counts,
+   orbit pruning, and injected faults. Verdicts must be identical
+   everywhere. Position counts are exactly sequential at workers=1
+   (the forced fast path) and on fully-equivalent runs at any worker
+   count (no conjunct fails, so no speculation is ever cut short and
+   the claimed-position set is the sequential explored set). *)
+
+let worker_grid = [ 1; 2; 4; 8 ]
+
+let par_pairs =
+  [
+    ("L6 vs L8", Gen.linear_order 6, Gen.linear_order 8, false);
+    ("L8 vs L8", Gen.linear_order 8, Gen.linear_order 8, true);
+    ( "C6 vs C3+C3",
+      Gen.cycle 6,
+      Gen.union_of [ Gen.cycle 3; Gen.cycle 3 ],
+      false );
+  ]
+
+let test_parallel_differential () =
+  List.iter
+    (fun (name, a, b, equivalent) ->
+      List.iter
+        (fun orbit ->
+          let config w =
+            { Ef.default_config with workers = Some w; orbit }
+          in
+          let seq_v, (seq_s : Ef.stats) =
+            Ef.solve ~config:(config 1) ~rounds:3 a b
+          in
+          checkb (name ^ ": sequential verdict") equivalent seq_v;
+          List.iter
+            (fun w ->
+              let tag =
+                Printf.sprintf "%s orbit=%b workers=%d" name orbit w
+              in
+              let v, (s : Ef.stats) = Ef.solve ~config:(config w) ~rounds:3 a b in
+              checkb (tag ^ ": verdict identical") seq_v v;
+              checkb
+                (tag ^ ": effective worker count")
+                true
+                (s.workers = if w = 1 then 1 else w);
+              if w = 1 || equivalent then
+                checkb
+                  (Printf.sprintf "%s: positions %d = sequential %d" tag
+                     s.positions seq_s.positions)
+                  true
+                  (s.positions = seq_s.positions))
+            worker_grid)
+        [ true; false ])
+    par_pairs;
+  (* Same grid, pebble game: a second expand/tasks implementation
+     through the same kernel. *)
+  let a = Gen.union_of [ Gen.path 3; Gen.path 3 ] and b = Gen.path 6 in
+  List.iter
+    (fun orbit ->
+      let config w = { Pebble.default_config with workers = Some w; orbit } in
+      let seq = Pebble.solve ~config:(config 1) ~pebbles:2 ~rounds:3 a b in
+      List.iter
+        (fun w ->
+          let par = Pebble.solve ~config:(config w) ~pebbles:2 ~rounds:3 a b in
+          checkb
+            (Printf.sprintf "pebble orbit=%b workers=%d: verdict" orbit w)
+            (fst seq) (fst par))
+        worker_grid)
+    [ true; false ]
+
+let test_parallel_fault_injection () =
+  let a = Gen.linear_order 8 and b = Gen.linear_order 8 in
+  List.iter
+    (fun orbit ->
+      List.iter
+        (fun w ->
+          let config = { Ef.default_config with workers = Some w; orbit } in
+          let tag = Printf.sprintf "orbit=%b workers=%d" orbit w in
+          (* A worker domain dying with an unrelated exception must
+             re-raise at the coordinator — never be swallowed, never be
+             masked by a secondary budget exhaustion parked by another
+             worker. *)
+          let budget =
+            Budget.create ~inject:Budget.Raise_in_worker ~poll_interval:1 ()
+          in
+          (match Ef.solve_verdict ~config ~budget ~rounds:3 a b with
+          | exception Budget.Injected_fault ->
+              checkb (tag ^ ": fault only from spawned workers") true (w > 1)
+          | v, _ ->
+              if w > 1 then Alcotest.fail (tag ^ ": worker fault swallowed")
+              else checkb (tag ^ ": sequential unaffected") true (v = Ef.Equivalent));
+          (* The shared memo of a faulted solve dies with it: a clean
+             re-solve in the same process (same pooled domains) is
+             correct. *)
+          checkb
+            (tag ^ ": verdict correct after worker death")
+            true
+            (Ef.duplicator_wins ~config ~rounds:3 a b);
+          (* Cancellation mid-search: the answer is the truth or a
+             cancelled gave-up, never a flip — and never a wrong
+             gave-up reason. *)
+          List.iter
+            (fun k ->
+              let budget = Budget.create ~inject:(Budget.Cancel_at k) () in
+              (match Ef.solve_verdict ~config ~budget ~rounds:3 a b with
+              | Ef.Gave_up Budget.Cancelled, _ -> ()
+              | Ef.Gave_up r, _ ->
+                  Alcotest.failf "%s: cancel surfaced as %s" tag
+                    (Budget.reason_to_string r)
+              | v, _ ->
+                  checkb (tag ^ ": no flip under cancellation") true
+                    (v = Ef.Equivalent));
+              checkb
+                (tag ^ ": verdict correct after cancellation")
+                true
+                (Ef.duplicator_wins ~config ~rounds:3 a b))
+            [ 1; 5; 50 ])
+        worker_grid)
+    [ true; false ]
+
+let test_worker_count_policy () =
+  let cfg workers = { Engine.default_config with workers } in
+  (* Forcing is no longer clamped by the root frontier: splitting
+     regenerates work below the root. *)
+  checkb "forced 8 on 2 root moves" true
+    (Engine.worker_count (cfg (Some 8)) ~depth_hint:3 ~moves:2 = 8);
+  (* ...but one obligation means nothing to hand out, ever. *)
+  checkb "single obligation stays sequential" true
+    (Engine.worker_count (cfg (Some 8)) ~depth_hint:3 ~moves:1 = 1);
+  checkb "depth 0 stays sequential" true
+    (Engine.worker_count (cfg (Some 8)) ~depth_hint:0 ~moves:10 = 1);
+  checkb "parallel off wins over forcing" true
+    (Engine.worker_count
+       { (cfg (Some 8)) with parallel = false }
+       ~depth_hint:3 ~moves:10
+    = 1);
+  (* The automatic policy never exceeds the hardware. *)
+  checkb "auto caps at the machine" true
+    (Engine.worker_count (cfg None) ~depth_hint:3 ~moves:10
+    <= min 8 (Domain.recommended_domain_count ()))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -338,5 +480,13 @@ let () =
           ] );
       ("cfi", [ Alcotest.test_case "certificate" `Quick test_cfi_certificate ]);
       ("budget", qsuite [ prop_budget_never_flips ]);
+      ( "parallel",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_differential;
+          Alcotest.test_case "fault injection" `Quick
+            test_parallel_fault_injection;
+          Alcotest.test_case "worker policy" `Quick test_worker_count_policy;
+        ] );
       ("parity", [ Alcotest.test_case "api" `Quick test_api_parity ]);
     ]

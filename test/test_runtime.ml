@@ -698,6 +698,130 @@ let test_structure_io_corpus () =
   | Error e -> Alcotest.failf "round-trip failed: %s" e);
   checkb "structure corpus is substantial" true (!total >= 80)
 
+(* ---------- the shared domain pool and the work-stealing deque ---------- *)
+
+module Pool = Fmtk_runtime.Pool
+module Deque = Fmtk_runtime.Deque
+
+let test_pool_spawn_join () =
+  let pool = Pool.create () in
+  let n = 8 in
+  let results = Array.make n 0 in
+  let handles =
+    Array.init n (fun i -> Pool.spawn pool (fun () -> results.(i) <- i * i))
+  in
+  Array.iter Pool.join handles;
+  checkb "all jobs ran" true
+    (Array.to_list results = List.init n (fun i -> i * i));
+  (* Escaped exceptions surface at the join, not anywhere else. *)
+  let h = Pool.spawn pool (fun () -> failwith "boom") in
+  (match Pool.join h with
+  | exception Failure m -> checkb "exception carried" true (m = "boom")
+  | () -> Alcotest.fail "exception swallowed by join");
+  (* The pool survives a failed job. *)
+  let h = Pool.spawn pool (fun () -> ()) in
+  Pool.join h;
+  Pool.shutdown pool
+
+let test_pool_reuse () =
+  let pool = Pool.create () in
+  (* Sequential spawn/join cycles must park and reuse one domain, not
+     create one per job — this is the pool's entire reason to exist. *)
+  for _ = 1 to 20 do
+    Pool.join (Pool.spawn pool (fun () -> ()))
+  done;
+  checkb "20 jobs dispatched" true (Pool.dispatched pool = 20);
+  checkb "domains reused, not respawned" true (Pool.spawned_total pool <= 2);
+  (* [join] returns when the job finishes; the domain parks a moment
+     later, so give it a few naps before asserting. *)
+  let rec await_park n =
+    Pool.parked_count pool >= 1 || (n > 0 && (Pool.nap (); await_park (n - 1)))
+  in
+  checkb "idle domains parked" true (await_park 100);
+  Pool.shutdown pool;
+  checkb "shutdown empties the park" true (Pool.parked_count pool = 0);
+  (match Pool.spawn pool (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "spawn on a shut pool must raise")
+
+let test_pool_shutdown_with_busy_job () =
+  (* A domain busy when [shutdown] runs finishes its job and its handle
+     stays joinable — shutdown never strands or kills work. *)
+  let pool = Pool.create () in
+  let gate = Atomic.make false in
+  let done_ = Atomic.make false in
+  let h =
+    Pool.spawn pool (fun () ->
+        while not (Atomic.get gate) do
+          Pool.nap ()
+        done;
+        Atomic.set done_ true)
+  in
+  Pool.shutdown pool;
+  Atomic.set gate true;
+  Pool.join h;
+  checkb "busy job completed across shutdown" true (Atomic.get done_)
+
+let test_deque_owner_order () =
+  let q = Deque.create ~capacity:8 () in
+  for i = 1 to 8 do
+    checkb "push fits" true (Deque.push q i)
+  done;
+  checkb "full deque rejects" false (Deque.push q 9);
+  (* Owner pops LIFO (the deep, hot end)... *)
+  checkb "pop is LIFO" true (Deque.pop q = Some 8);
+  (* ...thieves steal FIFO (the shallow, big-subtree end). *)
+  checkb "steal is FIFO" true (Deque.steal q = Some 1);
+  checkb "steal advances" true (Deque.steal q = Some 2);
+  checkb "size tracks" true (Deque.size q = 5);
+  for _ = 1 to 5 do
+    ignore (Deque.pop q)
+  done;
+  checkb "empty pop" true (Deque.pop q = None);
+  checkb "empty steal" true (Deque.steal q = None)
+
+let test_deque_steal_stress () =
+  (* Owner pops while thieves steal: every pushed element is consumed
+     exactly once — the Chase–Lev top CAS arbitrates the last-element
+     race. Sums, not sets, so lost and duplicated elements both show. *)
+  let n = 2000 and thieves = 3 in
+  let q = Deque.create ~capacity:4096 () in
+  let stolen = Array.make thieves 0 in
+  let live = Atomic.make true in
+  let doms =
+    Array.init thieves (fun i ->
+        Domain.spawn (fun () ->
+            while Atomic.get live do
+              match Deque.steal q with
+              | Some v -> stolen.(i) <- stolen.(i) + v
+              | None -> Domain.cpu_relax ()
+            done))
+  in
+  let popped = ref 0 in
+  for v = 1 to n do
+    if Deque.push q v then begin
+      (* Pop roughly half from the owner end, racing the thieves. *)
+      if v land 1 = 0 then
+        match Deque.pop q with
+        | Some x -> popped := !popped + x
+        | None -> ()
+    end
+    else popped := !popped + v (* full: consume inline, like the engine *)
+  done;
+  let rec drain () =
+    match Deque.pop q with
+    | Some x ->
+        popped := !popped + x;
+        drain ()
+    | None -> if Deque.size q > 0 then drain ()
+  in
+  drain ();
+  Atomic.set live false;
+  Array.iter Domain.join doms;
+  let total = Array.fold_left ( + ) !popped stolen in
+  checkb "every element consumed exactly once" true
+    (total = n * (n + 1) / 2)
+
 let () =
   Alcotest.run "fmtk_runtime"
     [
@@ -732,6 +856,16 @@ let () =
           Alcotest.test_case "ladder rungs under injection" `Quick
             test_ladder_rungs_under_injection;
           Alcotest.test_case "classify degrades" `Quick test_classify_degrades;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "spawn/join" `Quick test_pool_spawn_join;
+          Alcotest.test_case "reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "shutdown with busy job" `Quick
+            test_pool_shutdown_with_busy_job;
+          Alcotest.test_case "deque owner order" `Quick test_deque_owner_order;
+          Alcotest.test_case "deque steal stress" `Quick
+            test_deque_steal_stress;
         ] );
       ( "parser-totality",
         [

@@ -444,6 +444,45 @@ let test_graceful_shutdown_drains () =
   | exception End_of_file -> Alcotest.fail "connection dropped mid-drain");
   Client.close client
 
+let test_pooled_workers_drain_and_park () =
+  (* The server's worker domains come from the process-wide runtime
+     pool. Two consecutive server lifecycles must answer correctly,
+     drain cleanly, and — the regression this test exists for — the
+     second server must reuse the domains the first one parked instead
+     of spawning fresh ones. *)
+  let module Pool = Fmtk_runtime.Pool in
+  let pool = Pool.shared () in
+  let run_once () =
+    with_server ~preload:[ ("c6", "cycle:6"); ("c7", "cycle:7") ]
+    @@ fun _srv port ->
+    let c = Client.connect port in
+    checks "pooled server answers" "ok"
+      (status
+         (Client.request c
+            {|{"op":"game","id":1,"left":"c6","right":"c7","rounds":3}|}));
+    Client.close c
+  in
+  run_once ();
+  (* The first lifecycle has parked its workers back into the pool
+     (this is the drain regression: a leaked or unjoined worker never
+     parks), and an immediate spawn reuses one instead of creating a
+     fresh domain. Joining the run only proves the jobs finished — the
+     domains park a moment later, so give them a few naps. *)
+  let rec await_park n =
+    Pool.parked_count pool >= 1 || (n > 0 && (Pool.nap (); await_park (n - 1)))
+  in
+  checkb "workers parked after drain" true (await_park 100);
+  let spawned_before = Pool.spawned_total pool in
+  Pool.join (Pool.spawn pool (fun () -> ()));
+  checkb "drained worker domain is reusable" true
+    (Pool.spawned_total pool = spawned_before);
+  (* A second lifecycle in the same process goes through the pool and
+     drains just as cleanly. *)
+  let dispatched_before = Pool.dispatched pool in
+  run_once ();
+  checkb "second server went through the pool" true
+    (Pool.dispatched pool >= dispatched_before + 2)
+
 let () =
   Alcotest.run "fmtk_server"
     [
@@ -462,5 +501,7 @@ let () =
           Alcotest.test_case "admission shedding" `Quick test_admission_shedding;
           Alcotest.test_case "fault injection" `Quick test_fault_injection_no_crash;
           Alcotest.test_case "shutdown drains" `Quick test_graceful_shutdown_drains;
+          Alcotest.test_case "pooled workers drain and park" `Quick
+            test_pooled_workers_drain_and_park;
         ] );
     ]
