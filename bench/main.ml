@@ -823,6 +823,30 @@ let json_path : string option ref = ref None
    (and the cap itself), so `--workers 4` measures 1/2/4 domains. *)
 let workers_flag : int option ref = ref None
 
+(* --max-n N: size ceiling for the E28 locality sweep (CI smoke runs
+   stop at 10^5; the full sweep reaches 10^6). *)
+let max_n_flag : int ref = ref 1_000_000
+
+(* The storage the structure layer auto-selects at benchmark sizes:
+   probe with a binary relation at the CSR threshold. *)
+let effective_backend () =
+  Structure.backend_summary (Gen.cycle Structure.csr_auto_threshold)
+
+(* Shared header for every BENCH_*.json trail: experiment id, the unit
+   timings are reported in, the machine's available domains, and the
+   structure backend in effect — so trails from different machines and
+   PRs are comparable at a glance. *)
+let json_open oc ~experiment ~unit_ =
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": %S,\n\
+    \  \"unit\": %S,\n\
+    \  \"domains\": %d,\n\
+    \  \"backend\": %S,\n"
+    experiment unit_
+    (Domain.recommended_domain_count ())
+    (effective_backend ())
+
 let scaling_grid () =
   match !workers_flag with
   | None -> [ 1; 2; 4; 8 ]
@@ -908,9 +932,8 @@ let e23 () =
   | Some path ->
       let oc = open_out path in
       let out = Printf.fprintf in
-      out oc "{\n  \"experiment\": \"E23\",\n  \"unit\": \"ns/run\",\n";
-      out oc "  \"domains\": %d,\n  \"workloads\": [\n"
-        (Domain.recommended_domain_count ());
+      json_open oc ~experiment:"E23" ~unit_:"ns/run";
+      out oc "  \"workloads\": [\n";
       let rows = List.rev !entries in
       List.iteri
         (fun i e ->
@@ -1058,10 +1081,8 @@ let e24 () =
   | Some path ->
       let oc = open_out path in
       let out = Printf.fprintf in
-      out oc "{\n  \"experiment\": \"E24\",\n  \"unit\": \"ns/run\",\n";
-      out oc "  \"domains\": %d,\n  \"forced_workers\": %d,\n  \"workloads\": [\n"
-        (Domain.recommended_domain_count ())
-        forced;
+      json_open oc ~experiment:"E24" ~unit_:"ns/run";
+      out oc "  \"forced_workers\": %d,\n  \"workloads\": [\n" forced;
       let rows = List.rev !entries in
       List.iteri
         (fun i e ->
@@ -1190,7 +1211,7 @@ let e25 () =
   | Some path ->
       let oc = open_out path in
       let out = Printf.fprintf in
-      out oc "{\n  \"experiment\": \"E25\",\n  \"unit\": \"ns/run\",\n";
+      json_open oc ~experiment:"E25" ~unit_:"ns/run";
       out oc "  \"workload\": \"orders L15 vs L16, 4 rounds\",\n";
       out oc
         "  \"check_ns\": {\"unlimited\": %.3f, \"live_interval256\": %.3f, \
@@ -1365,7 +1386,7 @@ let e26 () =
   | Some path ->
       let oc = open_out path in
       let out = Printf.fprintf in
-      out oc "{\n  \"experiment\": \"E26\",\n  \"unit\": \"ns/run\",\n";
+      json_open oc ~experiment:"E26" ~unit_:"ns/run";
       out oc "  \"engine_timings\": [\n";
       let rows = List.rev !timing_rows in
       List.iteri
@@ -1688,11 +1709,123 @@ let e27 () =
           s.Server.cache_hits s.Server.cache_misses
           (if last then "" else ",")
       in
-      out oc "{\n  \"experiment\": \"E27\",\n  \"runs\": [\n";
+      json_open oc ~experiment:"E27" ~unit_:"ms";
+      out oc "  \"runs\": [\n";
       emit "clean" clean false;
       emit "faulted" faulted true;
       out oc "  ]\n}\n";
       close_out oc
+
+(* ---------- E28: million-element locality pipeline ---------- *)
+
+type e28_entry = {
+  family : string;
+  n : int;
+  workload : string; (* "hanf_census" | "wl_refine" *)
+  wall_ns : float;
+  ns_per_node : float;
+  detail : int; (* realized types / stable colours *)
+}
+
+let e28 () =
+  let workers =
+    match !workers_flag with
+    | Some k -> k
+    | None -> Domain.recommended_domain_count ()
+  in
+  let sizes = List.filter (fun n -> n <= !max_n_flag) [ 10_000; 100_000; 1_000_000 ] in
+  let entries = ref [] in
+  pf "Streaming locality pipeline, %d worker(s), backend %s; linear-time@."
+    workers (effective_backend ());
+  pf "shape: ns/node should stay flat as n grows 100x.@.";
+  pf "  %-10s %9s %-12s %10s %9s %7s@." "family" "n" "workload" "wall ms"
+    "ns/node" "detail";
+  let run family n g =
+    (* One full-pipeline run per measurement: fresh registry, so the
+       census pays serialization, hashing and type registration every
+       time — the steady state a new input sees. *)
+    let iters = max 1 (200_000 / n) in
+    let measure workload detail fn =
+      let wall_ns = time_ns ~iters fn in
+      let ns_per_node = wall_ns /. float_of_int n in
+      pf "  %-10s %9d %-12s %10.1f %9.1f %7d@." family n workload
+        (wall_ns /. 1e6) ns_per_node (detail ());
+      entries :=
+        { family; n; workload; wall_ns; ns_per_node; detail = detail () }
+        :: !entries
+    in
+    let types = ref 0 in
+    measure "hanf_census" (fun () -> !types) (fun () ->
+        let reg = Neighborhood.create_registry () in
+        let census = Neighborhood.census ~workers reg g ~radius:1 in
+        types := List.length census);
+    let colours = ref 0 in
+    measure "wl_refine" (fun () -> !colours) (fun () ->
+        let c = Wl.refine ~workers g in
+        let seen = Hashtbl.create 64 in
+        Array.iter (fun v -> Hashtbl.replace seen v ()) c;
+        colours := Hashtbl.length seen)
+  in
+  List.iter
+    (fun n ->
+      let side = int_of_float (sqrt (float_of_int n)) in
+      run "torus" (side * side) (Gen.torus side side))
+    sizes;
+  List.iter
+    (fun n -> run "regular4" n (Gen.random_regular ~rng:(rng ()) n 4))
+    sizes;
+  (* The acceptance shape: per family and workload, ns/node at the
+     largest size within 3x of the smallest. *)
+  let rows = List.rev !entries in
+  let scaling = ref [] in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun workload ->
+          let mine =
+            List.filter (fun e -> e.family = family && e.workload = workload) rows
+          in
+          match (mine, List.rev mine) with
+          | lo :: _, hi :: _ when lo.n < hi.n ->
+              let ratio = hi.ns_per_node /. lo.ns_per_node in
+              scaling := (family, workload, lo.n, hi.n, ratio) :: !scaling;
+              pf "  scaling %s/%s: ns/node(%d) = %.2fx ns/node(%d) %s@." family
+                workload hi.n ratio lo.n
+                (if ratio <= 3.0 then "(within 3x)" else "(EXCEEDS 3x)")
+          | _ -> ())
+        [ "hanf_census"; "wl_refine" ])
+    [ "torus"; "regular4" ];
+  pf "Shape: every scaling row within 3x — the census and refinement@.";
+  pf "are O(n) in practice, not just asymptotically.@.";
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let out = Printf.fprintf in
+      json_open oc ~experiment:"E28" ~unit_:"ns/node";
+      out oc "  \"workers\": %d,\n  \"max_n\": %d,\n  \"rows\": [\n" workers
+        !max_n_flag;
+      List.iteri
+        (fun i e ->
+          out oc
+            "    {\"family\": %S, \"n\": %d, \"workload\": %S, \"wall_ns\": \
+             %.0f, \"ns_per_node\": %.2f, \"detail\": %d}%s\n"
+            e.family e.n e.workload e.wall_ns e.ns_per_node e.detail
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      out oc "  ],\n  \"scaling\": [\n";
+      let srows = List.rev !scaling in
+      List.iteri
+        (fun i (family, workload, lo, hi, ratio) ->
+          out oc
+            "    {\"family\": %S, \"workload\": %S, \"n_lo\": %d, \"n_hi\": \
+             %d, \"ns_per_node_ratio\": %.3f}%s\n"
+            family workload lo hi ratio
+            (if i = List.length srows - 1 then "" else ","))
+        srows;
+      out oc "  ]\n}\n";
+      close_out oc;
+      pf "Wrote %s@." path
 
 let sections =
   [
@@ -1723,6 +1856,7 @@ let sections =
     ("E25", "budget poll overhead on the rigid-order EF workload", e25);
     ("E26", "engine port timings + C^k vs k-WL agreement + CFI certificate", e26);
     ("E27", "serve: closed-loop load, faults on/off, shed/drain discipline", e27);
+    ("E28", "million-element locality: streaming census + sharded 1-WL", e28);
     ("ablation", "design-choice ablations", ablation);
   ]
 
@@ -1779,6 +1913,14 @@ let () =
             parse rest
         | _ ->
             Printf.eprintf "--workers expects a positive domain count\n";
+            exit 2)
+    | "--max-n" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 ->
+            max_n_flag := k;
+            parse rest
+        | _ ->
+            Printf.eprintf "--max-n expects a positive size\n";
             exit 2)
     | _ :: rest -> parse rest
     | [] -> (None, None, None)

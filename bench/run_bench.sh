@@ -8,6 +8,9 @@
 #   E27 -> BENCH_serve.json  (closed-loop serve load, faults on/off:
 #                             p50/p99/throughput/shed/degraded, zero
 #                             wrong verdicts, drain time)
+#   E28 -> BENCH_locality.json (streaming Hanf census + sharded 1-WL,
+#                             ns/node from 10^4 to 10^6; pass
+#                             `--max-n 100000` for CI smoke)
 # --games-only skips the E23/E25 re-timing and refreshes only the game
 # trails (BENCH_games.json + BENCH_engine.json). Extra arguments are
 # passed through to bench/main.exe; notably `--workers N` caps the
@@ -40,6 +43,10 @@ if [ "$games_only" = false ]; then
 fi
 if [ "$games_only" = false ]; then
   dune exec bench/main.exe -- --only E27 --json BENCH_serve.json \
+    --deadline "$FMTK_BENCH_DEADLINE" $passthrough
+fi
+if [ "$games_only" = false ]; then
+  dune exec bench/main.exe -- --only E28 --json BENCH_locality.json \
     --deadline "$FMTK_BENCH_DEADLINE" $passthrough
 fi
 dune exec bench/main.exe -- --only E24 --json BENCH_games.json \

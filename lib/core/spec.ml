@@ -24,6 +24,21 @@ let parse spec =
       | [ w; h ] ->
           num "grid" w (fun w -> num "grid" h (fun h -> Ok (Gen.grid w h)))
       | _ -> Error "grid spec is grid:WxH")
+  | [ "torus"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ w; h ] ->
+          num "torus" w (fun w -> num "torus" h (fun h -> Ok (Gen.torus w h)))
+      | _ -> Error "torus spec is torus:WxH")
+  | [ "chorded"; n; stride ] ->
+      num "chorded" n (fun n ->
+          num "chorded" stride (fun stride ->
+              Ok (Gen.chorded_cycle n ~stride)))
+  | [ "regular"; n; d; seed ] ->
+      num "regular" n (fun n ->
+          num "regular" d (fun d ->
+              num "regular" seed (fun seed ->
+                  let rng = Random.State.make [| seed |] in
+                  Ok (Gen.random_regular ~rng n d))))
   | [ "random"; n; p; seed ] -> (
       match (int_of_string_opt n, float_of_string_opt p, int_of_string_opt seed)
       with

@@ -3,9 +3,12 @@
 
     A spec is either a generator — [set:4], [order:5], [chain:6]
     (alias [successor:6]), [cycle:8], [complete:3], [tree:3],
-    [grid:3x4], [random:20:0.3:7] (size:edge-probability:seed),
+    [grid:3x4], [torus:100x100], [chorded:1000:37] (cycle plus
+    stride-37 chords), [regular:1000:4:7] (random d-regular,
+    size:degree:seed), [random:20:0.3:7] (size:edge-probability:seed),
     [paley:13], [cfi:4], [cfi-twisted:4] — or a path to a structure
-    file in the {!Fmtk_structure.Structure_io} format. *)
+    file in one of the {!Fmtk_structure.Structure_io} formats
+    (directive or streaming edge-list). *)
 
 (** Total: malformed specs, bad numbers and unreadable files all come
     back as [Error], never an exception. *)

@@ -36,18 +36,18 @@ let radius ev = ev.radius
 let threshold ev = ev.threshold
 let cache_stats ev = (ev.hits, ev.misses)
 
-let truncated_census ev s =
-  let census = Neighborhood.census ev.registry s ~radius:ev.radius in
+let truncated_census ?workers ?budget ev s =
+  let census = Neighborhood.census ?workers ?budget ev.registry s ~radius:ev.radius in
   List.map (fun (id, c) -> (id, min c ev.threshold)) census
 
-let eval ev s =
+let eval ?workers ?budget ev s =
   let deg = Gaifman.degree s in
   if deg > ev.degree_bound then
     invalid_arg
       (Printf.sprintf
          "Bounded_degree.eval: degree %d exceeds declared bound %d" deg
          ev.degree_bound);
-  let key = truncated_census ev s in
+  let key = truncated_census ?workers ?budget ev s in
   match Hashtbl.find_opt ev.cache key with
   | Some v ->
       ev.hits <- ev.hits + 1;

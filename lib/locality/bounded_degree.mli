@@ -28,9 +28,12 @@ type t
 val make :
   ?radius:int -> ?threshold:int -> Formula.t -> degree_bound:int -> t
 
-(** Evaluate. @raise Invalid_argument if the structure's Gaifman degree
-    exceeds the declared bound. *)
-val eval : t -> Structure.t -> bool
+(** Evaluate. [workers]/[budget] are passed to the underlying census
+    ({!Fmtk_locality.Neighborhood.census}); the verdict is identical
+    for every worker count. @raise Invalid_argument if the structure's
+    Gaifman degree exceeds the declared bound. *)
+val eval :
+  ?workers:int -> ?budget:Fmtk_runtime.Budget.t -> t -> Structure.t -> bool
 
 val radius : t -> int
 val threshold : t -> int

@@ -3,24 +3,17 @@ module Signature = Fmtk_logic.Signature
 module Tuple = Fmtk_structure.Tuple
 module Graph = Fmtk_structure.Graph
 
+module Csr = Fmtk_structure.Csr
+
+let adjacency_csr t = Structure.gaifman_csr t
+
 let adjacency t =
-  let n = Structure.size t in
-  let sets = Array.init n (fun _ -> Hashtbl.create 4) in
-  List.iter
-    (fun (name, _) ->
-      Tuple.Set.iter
-        (fun tup ->
-          Array.iter
-            (fun u ->
-              Array.iter
-                (fun v -> if u <> v then Hashtbl.replace sets.(u) v ())
-                tup)
-            tup)
-        (Structure.rel t name))
-    (Signature.rels (Structure.signature t));
-  Array.map
-    (fun h -> List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) h []))
-    sets
+  let g = adjacency_csr t in
+  Array.init (Structure.size t) (fun u ->
+      let acc = ref [] in
+      Csr.iter_row g u (fun v -> acc := v :: !acc);
+      (* rows are sorted ascending, so the accumulated list reverses. *)
+      List.rev !acc)
 
 let distance t u v =
   let adj = adjacency t in
@@ -80,5 +73,4 @@ let diameter t =
   done;
   !best
 
-let degree t =
-  Array.fold_left (fun acc l -> max acc (List.length l)) 0 (adjacency t)
+let degree t = Csr.max_degree (adjacency_csr t)

@@ -7,7 +7,13 @@
 
 module Structure = Fmtk_structure.Structure
 
-(** Adjacency lists of the Gaifman graph. *)
+(** The Gaifman graph as CSR rows — the structure's cached
+    {!Fmtk_structure.Structure.gaifman_csr}, the form the streaming
+    census and 1-WL refinement traverse. *)
+val adjacency_csr : Structure.t -> Fmtk_structure.Csr.t
+
+(** Adjacency lists of the Gaifman graph (sorted ascending), derived
+    from {!adjacency_csr} — for the list-based ball/BFS helpers. *)
 val adjacency : Structure.t -> int list array
 
 (** [distance t u v] — Gaifman distance; [max_int] when disconnected. *)

@@ -2,20 +2,20 @@ module Structure = Fmtk_structure.Structure
 
 (* Joint censuses: type ids must come from one shared registry so counts
    are comparable across the two structures. *)
-let joint_censuses ~radius g g' =
+let joint_censuses ?workers ?budget ~radius g g' =
   let reg = Neighborhood.create_registry () in
-  let c = Neighborhood.census reg g ~radius in
-  let c' = Neighborhood.census reg g' ~radius in
+  let c = Neighborhood.census ?workers ?budget reg g ~radius in
+  let c' = Neighborhood.census ?workers ?budget reg g' ~radius in
   (c, c')
 
-let equiv ~radius g g' =
+let equiv ?workers ?budget ~radius g g' =
   Structure.size g = Structure.size g'
   &&
-  let c, c' = joint_censuses ~radius g g' in
+  let c, c' = joint_censuses ?workers ?budget ~radius g g' in
   c = c'
 
-let threshold_equiv ~threshold ~radius g g' =
-  let c, c' = joint_censuses ~radius g g' in
+let threshold_equiv ?workers ?budget ~threshold ~radius g g' =
+  let c, c' = joint_censuses ?workers ?budget ~radius g g' in
   let count id census = Option.value ~default:0 (List.assoc_opt id census) in
   let ids = List.sort_uniq compare (List.map fst (c @ c')) in
   List.for_all

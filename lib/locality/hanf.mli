@@ -9,13 +9,27 @@
 module Structure = Fmtk_structure.Structure
 
 (** [equiv ~radius g g'] decides [G ⇆radius G']. Requires equal sizes
-    (a bijection must exist). *)
-val equiv : radius:int -> Structure.t -> Structure.t -> bool
+    (a bijection must exist). [workers]/[budget] are passed to the
+    underlying censuses ({!Fmtk_locality.Neighborhood.census}); the
+    verdict is identical for every worker count. *)
+val equiv :
+  ?workers:int ->
+  ?budget:Fmtk_runtime.Budget.t ->
+  radius:int ->
+  Structure.t ->
+  Structure.t ->
+  bool
 
 (** [threshold_equiv ~threshold ~radius g g'] decides [G ⇆*threshold,radius
     G'] — sizes may differ. *)
 val threshold_equiv :
-  threshold:int -> radius:int -> Structure.t -> Structure.t -> bool
+  ?workers:int ->
+  ?budget:Fmtk_runtime.Budget.t ->
+  threshold:int ->
+  radius:int ->
+  Structure.t ->
+  Structure.t ->
+  bool
 
 (** {1 The m-ary extension (Hella–Libkin, the paper's reference [21])}
 

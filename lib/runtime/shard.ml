@@ -1,0 +1,38 @@
+let plan ~workers ~n =
+  let w = max 1 (min workers (max 1 n)) in
+  ((w, (n + w - 1) / w) : int * int)
+
+let ranges ?pool ~workers ~budget ~n f =
+  let w, chunk = plan ~workers ~n in
+  if w <= 1 then
+    f (Budget.poller budget) ~stop:(fun () -> false) ~idx:0 ~lo:0 ~hi:n
+  else begin
+    let pool = match pool with Some p -> p | None -> Pool.shared () in
+    let stop = Atomic.make false in
+    let failures = Array.make w None in
+    let run idx ~spawned () =
+      let lo = idx * chunk and hi = min n ((idx + 1) * chunk) in
+      if lo < hi && not (Atomic.get stop) then begin
+        let poller =
+          if spawned then Budget.worker_poller budget else Budget.poller budget
+        in
+        try f poller ~stop:(fun () -> Atomic.get stop) ~idx ~lo ~hi
+        with e ->
+          failures.(idx) <- Some e;
+          Atomic.set stop true
+      end
+    in
+    let handles =
+      Array.init (w - 1) (fun j -> Pool.spawn pool (run (j + 1) ~spawned:true))
+    in
+    run 0 ~spawned:false ();
+    Array.iter Pool.join handles;
+    let parked = Array.to_list failures |> List.filter_map Fun.id in
+    match
+      List.find_opt
+        (function Budget.Exhausted _ -> false | _ -> true)
+        parked
+    with
+    | Some e -> raise e
+    | None -> ( match parked with e :: _ -> raise e | [] -> ())
+  end

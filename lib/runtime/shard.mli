@@ -1,0 +1,38 @@
+(** Deterministic contiguous-range fan-out over the shared domain pool.
+
+    The locality pipeline (streaming neighborhood census, 1-WL
+    refinement) parallelizes by splitting the vertex range [0..n-1]
+    into [workers] contiguous chunks, one per domain. The split is a
+    pure function of [(workers, n)] — never of scheduling — so
+    per-range results can be merged in range order and the outcome is
+    byte-identical for every worker count (workers = 1 runs inline on
+    the calling domain, no pool involved).
+
+    Failure discipline mirrors the game engine's: a worker never lets
+    an exception escape into its pool handle; the first failure is
+    parked, [stop] tells every other worker to unwind at its next
+    check, all handles are joined, and then the parked exception is
+    re-raised in the coordinator — preferring a real fault over a
+    secondary {!Budget.Exhausted} when both occurred. *)
+
+(** [plan ~workers ~n] is [(w, chunk)]: the effective worker count
+    ([workers] clamped to [1..max 1 n]) and the chunk size, with range
+    [i] spanning [i*chunk .. min n ((i+1)*chunk) - 1]. Callers that
+    keep per-worker state allocate [w] slots and index them by the
+    [idx] their range callback receives. *)
+val plan : workers:int -> n:int -> int * int
+
+(** [ranges ~workers ~budget ~n f] runs [f poller ~stop ~idx ~lo ~hi]
+    for each chunk of {!plan}. Range 0 runs on the calling domain with
+    a plain {!Budget.poller}; the rest run on pooled domains with
+    {!Budget.worker_poller} (arming [Raise_in_worker] fault
+    injection). [f] must call [Budget.check] on its poller and consult
+    [stop] regularly (once per vertex is the convention) and return
+    promptly when [stop ()] turns true. Empty ranges are skipped. *)
+val ranges :
+  ?pool:Pool.t ->
+  workers:int ->
+  budget:Budget.t ->
+  n:int ->
+  (Budget.poller -> stop:(unit -> bool) -> idx:int -> lo:int -> hi:int -> unit) ->
+  unit

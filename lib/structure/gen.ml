@@ -68,6 +68,130 @@ let random_graph ~rng n p =
   done;
   Structure.make Signature.graph ~size:n [ ("E", !tuples) ]
 
+(* ---- Bounded-degree families sized for the million-element locality
+   pipeline: all three build endpoint arrays and go through
+   [Structure.of_graph], so no tuple set is ever materialized. ---- *)
+
+let torus w h =
+  if w < 1 || h < 1 then invalid_arg "Gen.torus: need positive dimensions";
+  let n = w * h in
+  let m = 4 * n in
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  let i = ref 0 in
+  let edge u v =
+    src.(!i) <- u;
+    dst.(!i) <- v;
+    incr i
+  in
+  let id x y = (y * w) + x in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let u = id x y in
+      let r = id ((x + 1) mod w) y and d = id x ((y + 1) mod h) in
+      edge u r;
+      edge r u;
+      edge u d;
+      edge d u
+    done
+  done;
+  Structure.of_graph Signature.graph ~size:n [ ("E", (src, dst)) ]
+
+let chorded_cycle n ~stride =
+  if n < 1 then invalid_arg "Gen.chorded_cycle: need n >= 1";
+  if stride < 1 || stride >= n then
+    invalid_arg "Gen.chorded_cycle: need 1 <= stride < n";
+  let m = 4 * n in
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  let i = ref 0 in
+  let edge u v =
+    src.(!i) <- u;
+    dst.(!i) <- v;
+    incr i
+  in
+  for u = 0 to n - 1 do
+    let s = (u + 1) mod n and c = (u + stride) mod n in
+    edge u s;
+    edge s u;
+    edge u c;
+    edge c u
+  done;
+  Structure.of_graph Signature.graph ~size:n [ ("E", (src, dst)) ]
+
+let random_regular ~rng n d =
+  if d < 0 || d >= max n 1 then
+    invalid_arg "Gen.random_regular: need 0 <= d < n";
+  if n * d mod 2 <> 0 then
+    invalid_arg "Gen.random_regular: n * d must be even";
+  (* Configuration model with 2-switch repair: pair up the n·d stubs
+     uniformly, then repeatedly rewire self-loops and duplicate edges by
+     swapping endpoints with a uniformly chosen pair. Produces an exact
+     simple d-regular graph; for the sparse regimes benchmarks use
+     (d << n) the repair loop touches a vanishing fraction of pairs. *)
+  let m = n * d / 2 in
+  let pu = Array.make (max m 1) 0 and pv = Array.make (max m 1) 0 in
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  for i = (n * d) - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = stubs.(i) in
+    stubs.(i) <- stubs.(j);
+    stubs.(j) <- tmp
+  done;
+  for i = 0 to m - 1 do
+    pu.(i) <- stubs.(2 * i);
+    pv.(i) <- stubs.((2 * i) + 1)
+  done;
+  let key u v = (min u v * n) + max u v in
+  let seen = Hashtbl.create (2 * m) in
+  (* [ok.(i)]: pair [i] is simple, distinct from every other ok pair,
+     and its edge is recorded in [seen]. *)
+  let ok = Array.make (max m 1) false in
+  let bad = Queue.create () in
+  for i = 0 to m - 1 do
+    if pu.(i) <> pv.(i) && not (Hashtbl.mem seen (key pu.(i) pv.(i))) then begin
+      ok.(i) <- true;
+      Hashtbl.replace seen (key pu.(i) pv.(i)) ()
+    end
+    else Queue.add i bad
+  done;
+  let attempts = ref 0 in
+  let cap = 200 * (m + 1) in
+  while not (Queue.is_empty bad) do
+    incr attempts;
+    if !attempts > cap then
+      failwith "Gen.random_regular: repair did not converge";
+    let i = Queue.pop bad in
+    (* [i] may have been repaired as the partner of an earlier swap. *)
+    if not ok.(i) then begin
+      let j = Random.State.int rng m in
+      let a = pu.(i) and b = pv.(i) and c = pu.(j) and e = pv.(j) in
+      if
+        j <> i && a <> c && b <> e
+        && (not (Hashtbl.mem seen (key a c)))
+        && (not (Hashtbl.mem seen (key b e)))
+        && key a c <> key b e
+      then begin
+        (* Degree-preserving 2-switch: (a,b) + (c,e) -> (a,c) + (b,e). *)
+        if ok.(j) then Hashtbl.remove seen (key c e);
+        pv.(i) <- c;
+        pu.(j) <- b;
+        (* pv.(j) stays e *)
+        Hashtbl.replace seen (key a c) ();
+        Hashtbl.replace seen (key b e) ();
+        ok.(i) <- true;
+        ok.(j) <- true
+      end
+      else Queue.add i bad
+    end
+  done;
+  let src = Array.make (2 * m) 0 and dst = Array.make (2 * m) 0 in
+  for i = 0 to m - 1 do
+    src.(2 * i) <- pu.(i);
+    dst.(2 * i) <- pv.(i);
+    src.((2 * i) + 1) <- pv.(i);
+    dst.((2 * i) + 1) <- pu.(i)
+  done;
+  Structure.of_graph Signature.graph ~size:n [ ("E", (src, dst)) ]
+
 let random_undirected_graph ~rng n p =
   let tuples = ref [] in
   for i = 0 to n - 1 do

@@ -51,6 +51,33 @@ val random_undirected_graph : rng:Random.State.t -> int -> float -> Structure.t
     every degree ≤ [d] (greedy matching-style sampling). *)
 val bounded_degree_graph : rng:Random.State.t -> int -> int -> Structure.t
 
+(** {1 Bounded-degree families at scale}
+
+    The three generators below build endpoint arrays and construct
+    through {!Structure.of_graph} — CSR-backed, no per-tuple
+    allocation — so they are usable at the 10^6-element sizes of the
+    locality pipeline (experiment E28). All are symmetric (undirected)
+    over signature [E/2]. *)
+
+(** [torus w h] is the w×h grid with wraparound in both dimensions:
+    4-regular for [w, h >= 3], vertex-transitive (every radius-r
+    neighborhood type is realized [w·h] times). *)
+val torus : int -> int -> Structure.t
+
+(** [chorded_cycle n ~stride] is the cycle [0 — 1 — .. — n-1 — 0] plus a
+    chord [i — (i + stride) mod n] for every [i]: 4-regular for
+    [2 <= stride <= n - 2] with [stride <> n/2], long odd diameter
+    structure with small, uniform neighborhoods.
+    @raise Invalid_argument unless [1 <= stride < n]. *)
+val chorded_cycle : int -> stride:int -> Structure.t
+
+(** [random_regular ~rng n d] samples an exactly [d]-regular simple
+    undirected graph: configuration-model stub pairing followed by
+    degree-preserving 2-switch repair of self-loops and duplicate
+    edges.
+    @raise Invalid_argument unless [0 <= d < n] and [n·d] is even. *)
+val random_regular : rng:Random.State.t -> int -> int -> Structure.t
+
 (** [cfi_pair m] (m ≥ 3) is a Cai–Fürer–Immerman pair over the base
     cycle [C_m]: [(untwisted, twisted)], where each base vertex becomes
     a two-vertex fibre and the twisted variant crosses exactly one base

@@ -33,6 +33,9 @@ type repr =
   | Bitset of Bytes.t
   | Packed of unit IntTbl.t
   | Generic of unit TupTbl.t
+  | Rows of Csr.t  (* binary relation as sorted CSR rows; probe = binary
+                      search, O(log degree), zero build cost when the
+                      owning structure is already CSR-backed *)
 
 type t = { arity : int; size : int; repr : repr }
 
@@ -80,6 +83,9 @@ let build ~size ~arity tuples =
   in
   { arity; size; repr }
 
+let of_csr csr =
+  { arity = 2; size = Csr.nodes csr; repr = Rows csr }
+
 let of_tuples ~arity tuples =
   (* Domain size inferred from the data: packing only needs a strict bound
      on the coordinates actually present. *)
@@ -104,6 +110,7 @@ let mem t tup =
   | Bitset bits -> Array.for_all (in_domain t) tup && bit_mem bits (pack ~size:t.size tup)
   | Packed tbl -> Array.for_all (in_domain t) tup && IntTbl.mem tbl (pack ~size:t.size tup)
   | Generic tbl -> TupTbl.mem tbl tup
+  | Rows csr -> Csr.mem csr tup.(0) tup.(1)
 
 (* Allocation-free probes for the common arities, used by the compiled
    evaluator's atom closures. *)
@@ -116,7 +123,7 @@ let mem1 t e =
   | Bitset bits -> in_domain t e && bit_mem bits e
   | Packed tbl -> in_domain t e && IntTbl.mem tbl e
   | Generic tbl -> TupTbl.mem tbl [| e |]
-  | Nullary -> false
+  | Rows _ | Nullary -> false
 
 let mem2 t x y =
   t.arity = 2
@@ -128,4 +135,5 @@ let mem2 t x y =
   | Packed tbl ->
       in_domain t x && in_domain t y && IntTbl.mem tbl ((x * t.size) + y)
   | Generic tbl -> TupTbl.mem tbl [| x; y |]
+  | Rows csr -> Csr.mem csr x y
   | Nullary -> false

@@ -20,6 +20,12 @@ val build : size:int -> arity:int -> Tuple.Set.t -> t
     no structure at hand. *)
 val of_tuples : arity:int -> Tuple.Set.t -> t
 
+(** Zero-copy index over a CSR-backed binary relation: probes are a
+    binary search in the sorted row (O(log degree)). This is how
+    CSR-backed structures answer {!Structure.probe} without ever
+    materializing a tuple set or hashtable. *)
+val of_csr : Csr.t -> t
+
 val arity : t -> int
 
 (** [mem t tup] — membership; [false] (never an exception) when [tup] has

@@ -106,7 +106,7 @@ let extension_ok a b pairs (x, y) =
 
 (* The refinement machinery lives in [Wl] (shared with the k-dimensional
    variant and the game solvers); these are compatibility aliases. *)
-let wl_colors = Wl.colors_joint
+let wl_colors a b = Wl.colors_joint a b
 let wl_colors1 = Wl.colors1
 
 let invariant_key t =
@@ -116,7 +116,7 @@ let invariant_key t =
   let rel_counts =
     List.map
       (fun (name, _) ->
-        Printf.sprintf "%s=%d" name (Tuple.Set.cardinal (Structure.rel t name)))
+        Printf.sprintf "%s=%d" name (Structure.rel_count t name))
       (Signature.rels sg)
   in
   let const_colors =

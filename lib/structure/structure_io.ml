@@ -114,11 +114,186 @@ let parse text =
   | exception Failure msg -> Error ("structure parse error: " ^ msg)
   | exception Stack_overflow -> Error "structure parse error: input too large"
 
+(* ---- Streaming edge-list format ----
+
+   "graph N [directed]" followed by one "U V" edge per line; built for
+   million-edge inputs, so the reader never holds the whole file, never
+   splits a line into a token list, and pushes endpoints straight into
+   growable int vectors feeding [Structure.of_graph]. Undirected (the
+   default) symmetrizes each line. *)
+
+(* The two whitespace-separated ints of an edge line, parsed by direct
+   character scan; [#] starts a comment. [None] for a blank/comment
+   line. *)
+let parse_edge_line s =
+  let n =
+    match String.index_opt s '#' with Some i -> i | None -> String.length s
+  in
+  let i = ref 0 in
+  let skip () =
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\r') do
+      incr i
+    done
+  in
+  let int_at () =
+    let start = !i in
+    let v = ref 0 in
+    while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+      v := (!v * 10) + (Char.code s.[!i] - Char.code '0');
+      incr i
+    done;
+    if !i = start then raise (Bad "expected a nonnegative integer");
+    if !i - start > 18 then raise (Bad "integer too large");
+    !v
+  in
+  skip ();
+  if !i = n then None
+  else begin
+    let u = int_at () in
+    skip ();
+    let v = int_at () in
+    skip ();
+    if !i <> n then raise (Bad "trailing junk after edge");
+    Some (u, v)
+  end
+
+let graph_header_re line =
+  match tokens_of (strip_comment line) with
+  | "graph" :: n :: rest -> (
+      let directed =
+        match rest with
+        | [] -> Some false
+        | [ "directed" ] -> Some true
+        | _ -> None
+      in
+      match (int_of_string_opt n, directed) with
+      | Some size, Some directed when size >= 0 -> Some (size, directed)
+      | _ -> raise (Bad (Printf.sprintf "bad graph header %S" (String.trim line))))
+  | _ -> None
+
+(* [graph_of_lines ~size ~directed next] streams edge lines from [next]
+   (which returns [None] at end of input) into a CSR-backed structure. *)
+let graph_of_lines ~size ~directed ~lineno0 next =
+  let src = Csr.Vec.create ~cap:1024 () and dst = Csr.Vec.create ~cap:1024 () in
+  let lineno = ref lineno0 in
+  let rec go () =
+    match next () with
+    | None -> ()
+    | Some line ->
+        incr lineno;
+        (match
+           try parse_edge_line line
+           with Bad msg -> raise (Bad (Printf.sprintf "line %d: %s" !lineno msg))
+         with
+        | None -> ()
+        | Some (u, v) ->
+            if u >= size || v >= size then
+              raise
+                (Bad
+                   (Printf.sprintf "line %d: endpoint outside domain [0,%d)"
+                      !lineno size));
+            Csr.Vec.push src u;
+            Csr.Vec.push dst v;
+            if not directed then begin
+              Csr.Vec.push src v;
+              Csr.Vec.push dst u
+            end);
+        go ()
+  in
+  go ();
+  Structure.of_graph Signature.graph ~size
+    [ ("E", (Csr.Vec.to_array src, Csr.Vec.to_array dst)) ]
+
+(* Line iterator over a string without materializing a line list. *)
+let string_lines text =
+  let pos = ref 0 in
+  fun () ->
+    if !pos > String.length text then None
+    else
+      let stop =
+        match String.index_from_opt text !pos '\n' with
+        | Some i -> i
+        | None -> String.length text
+      in
+      let line = String.sub text !pos (stop - !pos) in
+      pos := stop + 1;
+      if stop = String.length text then pos := stop + 1;
+      Some line
+
+(* First non-blank, non-comment line decides the format: a "graph"
+   header streams; anything else takes the directive parser above. *)
+let parse text =
+  let probe = string_lines text in
+  let rec first_line n =
+    match probe () with
+    | None -> (n, None)
+    | Some line ->
+        if tokens_of (strip_comment line) = [] then first_line (n + 1)
+        else (n, Some line)
+  in
+  match
+    let skipped, header = first_line 0 in
+    match header with
+    | None -> None
+    | Some line -> (
+        match graph_header_re line with
+        | Some (size, directed) ->
+            Some (graph_of_lines ~size ~directed ~lineno0:(skipped + 1) probe)
+        | None -> None)
+  with
+  | Some s -> Ok s
+  | None -> parse text
+  | exception Bad msg -> Error ("structure parse error: " ^ msg)
+  | exception Invalid_argument msg -> Error ("structure parse error: " ^ msg)
+
 let parse_exn text =
   match parse text with Ok s -> s | Error msg -> invalid_arg msg
 
+let to_graph_string t =
+  let sg = Structure.signature t in
+  match (Signature.rels sg, Signature.consts sg) with
+  | [ (name, 2) ], [] ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (Printf.sprintf "graph %d directed\n" (Structure.size t));
+      Structure.iter_rel2 t name (fun u v ->
+          Buffer.add_string buf (string_of_int u);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int v);
+          Buffer.add_char buf '\n');
+      Buffer.contents buf
+  | _ ->
+      invalid_arg
+        "Structure_io.to_graph_string: needs exactly one binary relation and \
+         no constants"
+
 let load path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse text
+  let stream ic =
+    (* Peek line by line for the header; hand the open channel to the
+       streaming reader when found, fall back to whole-file parse
+       otherwise (directive files are small by construction). *)
+    let rec probe skipped =
+      match In_channel.input_line ic with
+      | None -> Ok (parse "")
+      | Some line -> (
+          if tokens_of (strip_comment line) = [] then probe (skipped + 1)
+          else
+            match graph_header_re line with
+            | Some (size, directed) ->
+                Ok
+                  (Ok
+                     (graph_of_lines ~size ~directed ~lineno0:(skipped + 1)
+                        (fun () -> In_channel.input_line ic)))
+            | None -> Error skipped)
+    in
+    match probe 0 with
+    | Ok r -> r
+    | Error _ ->
+        In_channel.seek ic 0L;
+        parse (In_channel.input_all ic)
+  in
+  match In_channel.with_open_text path stream with
+  | r -> r
+  | exception Bad msg -> Error ("structure parse error: " ^ msg)
+  | exception Invalid_argument msg -> Error ("structure parse error: " ^ msg)
   | exception Sys_error msg -> Error msg
   | exception Out_of_memory -> Error (path ^ ": file too large to load")

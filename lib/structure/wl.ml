@@ -10,32 +10,198 @@
    agreement on C^{k+1}, first-order logic with counting quantifiers
    restricted to k+1 variables. In particular 1-WL = C^2 and
    2-WL = C^3. The CFI construction ({!Gen.cfi_pair}) witnesses that
-   the hierarchy is strict. *)
+   the hierarchy is strict.
+
+   The 1-dimensional refinement runs over the structure's cached CSR
+   Gaifman adjacency with interned int-array colour keys — per round,
+   one flat pass building each element's (own colour, sorted neighbour
+   colours) key, then one sequential interning pass. Key building
+   shards across domains by contiguous vertex range ({!Shard.ranges});
+   interning stays sequential, so colour ids are assigned in element
+   order and the result is byte-identical for every worker count. *)
 
 module Signature = Fmtk_logic.Signature
 module Budget = Fmtk_runtime.Budget
+module Shard = Fmtk_runtime.Shard
+
+(* ---- interning ---- *)
+
+(* Colour keys are flat int arrays. The interning table hashes the whole
+   key with FNV-1a: the polymorphic [Hashtbl.hash] inspects only a
+   bounded number of words, which would collapse every high-degree
+   neighbourhood multiset into a handful of buckets. *)
+module KeyTbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let hash (a : int array) =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor a.(i)) * 0x01000193
+    done;
+    !h land max_int
+end)
+
+let make_interner () =
+  let table = Hashtbl.create 64 in
+  let next = ref 0 in
+  fun s ->
+    match Hashtbl.find_opt table s with
+    | Some c -> c
+    | None ->
+        let c = !next in
+        incr next;
+        Hashtbl.add table s c;
+        c
+
+(* Sequential first-occurrence interning of key arrays: returns the
+   colour array and the number of distinct colours. *)
+let intern_keys keys =
+  let tbl = KeyTbl.create (2 * Array.length keys) in
+  let next = ref 0 in
+  let colors =
+    Array.map
+      (fun k ->
+        match KeyTbl.find_opt tbl k with
+        | Some c -> c
+        | None ->
+            let c = !next in
+            incr next;
+            KeyTbl.add tbl k c;
+            c)
+      keys
+  in
+  (colors, !next)
+
+(* Sort [arr.(lo..)] ascending (via a copy — once per element per
+   round, never nested). *)
+let sort_from arr lo =
+  let len = Array.length arr - lo in
+  if len > 1 then begin
+    let tmp = Array.sub arr lo len in
+    Array.sort Int.compare tmp;
+    Array.blit tmp 0 arr lo len
+  end
 
 (* ---- 1-WL: colour refinement over the Gaifman graph ---- *)
 
-(* Gaifman adjacency lists: elements are adjacent when they co-occur in a
-   tuple. *)
-let gaifman_adj t =
+(* Initial colour key of an element: for every relation (in signature
+   order) an interned name id followed by the element's per-position
+   occurrence counts, then a [-2]-tagged interned mark per constant
+   naming the element. [name_id] is shared across the two structures of
+   a joint run so their keys stay comparable. *)
+let initial_keys name_id t =
   let n = Structure.size t in
-  let adj = Array.make n [] in
-  let add u v =
-    if u <> v && not (List.mem v adj.(u)) then adj.(u) <- v :: adj.(u)
+  let sg = Structure.signature t in
+  let rels = Signature.rels sg in
+  let base_len = List.fold_left (fun acc (_, k) -> acc + k + 2) 0 rels in
+  let extra = Array.make (max n 1) 0 in
+  let consts =
+    List.map
+      (fun c ->
+        let e = Structure.const t c in
+        extra.(e) <- extra.(e) + 2;
+        (c, e))
+      (Signature.consts sg)
+  in
+  let keys = Array.init n (fun e -> Array.make (base_len + extra.(e)) 0) in
+  let pos = Array.make (max n 1) 0 in
+  let push e x =
+    keys.(e).(pos.(e)) <- x;
+    pos.(e) <- pos.(e) + 1
   in
   List.iter
-    (fun (name, _) ->
-      Tuple.Set.iter
-        (fun tup ->
-          Array.iter (fun u -> Array.iter (fun v -> add u v) tup) tup)
-        (Structure.rel t name))
-    (Signature.rels (Structure.signature t));
-  adj
+    (fun (name, k) ->
+      let nid = name_id name in
+      let counts = Array.make (n * max k 1) 0 in
+      if k = 2 then
+        Structure.iter_rel2 t name (fun u v ->
+            counts.(u * 2) <- counts.(u * 2) + 1;
+            counts.((v * 2) + 1) <- counts.((v * 2) + 1) + 1)
+      else
+        Structure.iter_rel t name (fun tup ->
+            Array.iteri
+              (fun i e -> counts.((e * k) + i) <- counts.((e * k) + i) + 1)
+              tup);
+      for e = 0 to n - 1 do
+        push e nid;
+        for i = 0 to k - 1 do
+          push e counts.((e * k) + i)
+        done;
+        push e (-1)
+      done)
+    rels;
+  List.iter
+    (fun (c, e) ->
+      push e (-2);
+      push e (name_id ("@" ^ c)))
+    consts;
+  keys
 
-(* Initial colour of an element: per-relation per-position occurrence counts
-   plus the set of constants naming it. *)
+(* Refinement over CSR adjacency [g] from initial keys: iterate until
+   the number of colour classes stops growing. Per round, the key of
+   [u] is its colour followed by the sorted colours of its Gaifman
+   neighbours; key building shards by vertex range, interning is
+   sequential. *)
+let refine_csr ~workers ~budget g init =
+  let n = Csr.nodes g in
+  let colors, count0 = intern_keys init in
+  let colors = ref colors in
+  let keys = Array.make n [||] in
+  let tg = Csr.targets g in
+  let rec loop count =
+    let cur = !colors in
+    Shard.ranges ~workers ~budget ~n
+      (fun poller ~stop ~idx:_ ~lo ~hi ->
+        let u = ref lo in
+        while !u < hi && not (stop ()) do
+          Budget.check poller;
+          let e = !u in
+          let s = Csr.row_start g e and t = Csr.row_end g e in
+          let key = Array.make (t - s + 1) cur.(e) in
+          for i = s to t - 1 do
+            key.(i - s + 1) <- cur.(tg.(i))
+          done;
+          sort_from key 1;
+          keys.(e) <- key;
+          incr u
+        done);
+    let next, count' = intern_keys keys in
+    colors := next;
+    if count' > count then loop count'
+  in
+  loop count0;
+  !colors
+
+let refine ?(workers = 1) ?(budget = Budget.unlimited) t =
+  refine_csr ~workers ~budget
+    (Structure.gaifman_csr t)
+    (initial_keys (make_interner ()) t)
+
+let colors1 t = refine t
+
+let colors_joint ?(workers = 1) ?(budget = Budget.unlimited) a b =
+  let na = Structure.size a and nb = Structure.size b in
+  (* Combined node space: a-nodes first, then b-nodes. *)
+  let g = Csr.append (Structure.gaifman_csr a) (Structure.gaifman_csr b) in
+  let name_id = make_interner () in
+  let init = Array.append (initial_keys name_id a) (initial_keys name_id b) in
+  let final = refine_csr ~workers ~budget g init in
+  (Array.sub final 0 na, Array.sub final na nb)
+
+let census_pair (ca, cb) =
+  let sorted arr = List.sort Int.compare (Array.to_list arr) in
+  sorted ca = sorted cb
+
+let census_equal1 a b = census_pair (colors_joint a b)
+
+(* Initial colour of an element as a string — the digestible form
+   [canonical_colors] starts from. *)
 let initial_color_strings t =
   let n = Structure.size t in
   let sg = Structure.signature t in
@@ -43,10 +209,8 @@ let initial_color_strings t =
   List.iter
     (fun (name, k) ->
       let counts = Array.make_matrix n k 0 in
-      Tuple.Set.iter
-        (fun tup ->
-          Array.iteri (fun i e -> counts.(e).(i) <- counts.(e).(i) + 1) tup)
-        (Structure.rel t name);
+      Structure.iter_rel t name (fun tup ->
+          Array.iteri (fun i e -> counts.(e).(i) <- counts.(e).(i) + 1) tup);
       for e = 0 to n - 1 do
         Buffer.add_string buf.(e) name;
         Array.iter
@@ -62,74 +226,6 @@ let initial_color_strings t =
     (Signature.consts sg);
   Array.map Buffer.contents buf
 
-let make_interner () =
-  let table = Hashtbl.create 64 in
-  let next = ref 0 in
-  fun s ->
-    match Hashtbl.find_opt table s with
-    | Some c -> c
-    | None ->
-        let c = !next in
-        incr next;
-        Hashtbl.add table s c;
-        c
-
-let distinct arr =
-  let seen = Hashtbl.create 64 in
-  Array.iter (fun c -> Hashtbl.replace seen c ()) arr;
-  Hashtbl.length seen
-
-(* Shared refinement loop: iterate colour refinement over an adjacency
-   array from given initial colour strings until the number of colour
-   classes stops growing. *)
-let refine_loop adj init =
-  let intern strings =
-    let f = make_interner () in
-    Array.map f strings
-  in
-  let colors = ref (intern init) in
-  let rec refine count =
-    let cur = !colors in
-    let strings =
-      Array.mapi
-        (fun i _ ->
-          let neigh =
-            List.sort Int.compare (List.map (fun j -> cur.(j)) adj.(i))
-          in
-          Printf.sprintf "%d|%s" cur.(i)
-            (String.concat "," (List.map string_of_int neigh)))
-        cur
-    in
-    let next = intern strings in
-    let count' = distinct next in
-    colors := next;
-    if count' > count then refine count'
-  in
-  refine (distinct !colors);
-  !colors
-
-let colors_joint a b =
-  let na = Structure.size a and nb = Structure.size b in
-  let adj_a = gaifman_adj a and adj_b = gaifman_adj b in
-  (* Combined node space: a-nodes first, then b-nodes. *)
-  let adj =
-    Array.init (na + nb) (fun i ->
-        if i < na then adj_a.(i) else List.map (fun v -> v + na) adj_b.(i - na))
-  in
-  let init =
-    Array.append (initial_color_strings a) (initial_color_strings b)
-  in
-  let final = refine_loop adj init in
-  (Array.sub final 0 na, Array.sub final na nb)
-
-let colors1 t = refine_loop (gaifman_adj t) (initial_color_strings t)
-
-let census_pair (ca, cb) =
-  let sorted arr = List.sort Int.compare (Array.to_list arr) in
-  sorted ca = sorted cb
-
-let census_equal1 a b = census_pair (colors_joint a b)
-
 (* Content-canonical colour labels: unlike the interned ids of
    [colors_joint] (whose numbering depends on element order and is only
    comparable within one joint run), these digests depend solely on the
@@ -139,18 +235,16 @@ let census_equal1 a b = census_pair (colors_joint a b)
    compared at the same round. *)
 let canonical_colors t =
   let n = Structure.size t in
-  let adj = gaifman_adj t in
+  let g = Structure.gaifman_csr t in
   let labels = ref (Array.map Digest.string (initial_color_strings t)) in
   for _ = 1 to n do
     let cur = !labels in
     labels :=
-      Array.mapi
-        (fun i own ->
-          let neigh =
-            List.sort String.compare (List.map (fun j -> cur.(j)) adj.(i))
-          in
-          Digest.string (String.concat "|" (own :: neigh)))
-        cur
+      Array.init n (fun i ->
+          let neigh = ref [] in
+          Csr.iter_row g i (fun j -> neigh := cur.(j) :: !neigh);
+          let neigh = List.sort String.compare !neigh in
+          Digest.string (String.concat "|" (cur.(i) :: neigh)))
   done;
   !labels
 
@@ -209,7 +303,7 @@ let atomic_type t tup =
 
 let colors_k ?(budget = Budget.unlimited) ~k a b =
   if k < 1 then invalid_arg "Wl.colors_k: dimension must be >= 1";
-  if k = 1 then colors_joint a b
+  if k = 1 then colors_joint ~budget a b
   else begin
     let poller = Budget.poller budget in
     let na = Structure.size a and nb = Structure.size b in
