@@ -11,6 +11,9 @@
 #   E28 -> BENCH_locality.json (streaming Hanf census + sharded 1-WL,
 #                             ns/node from 10^4 to 10^6; pass
 #                             `--max-n 100000` for CI smoke)
+#   E29 -> BENCH_durability.json (journal overhead on the serve mix:
+#                             memory vs interval vs always fsync, plus
+#                             journal-replay and snapshot-load recovery)
 # --games-only skips the E23/E25 re-timing and refreshes only the game
 # trails (BENCH_games.json + BENCH_engine.json). Extra arguments are
 # passed through to bench/main.exe; notably `--workers N` caps the
@@ -47,6 +50,10 @@ if [ "$games_only" = false ]; then
 fi
 if [ "$games_only" = false ]; then
   dune exec bench/main.exe -- --only E28 --json BENCH_locality.json \
+    --deadline "$FMTK_BENCH_DEADLINE" $passthrough
+fi
+if [ "$games_only" = false ]; then
+  dune exec bench/main.exe -- --only E29 --json BENCH_durability.json \
     --deadline "$FMTK_BENCH_DEADLINE" $passthrough
 fi
 dune exec bench/main.exe -- --only E24 --json BENCH_games.json \

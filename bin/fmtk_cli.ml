@@ -625,11 +625,15 @@ let resolve_addr socket port host =
 
 let serve_cmd =
   let run socket port host workers max_inflight default_timeout max_timeout
-      drain_timeout idle_timeout max_line preloads inject quiet =
+      drain_timeout idle_timeout max_line preloads data_dir sync_pol
+      snapshot_threshold inject quiet =
     exec @@ fun () ->
     match resolve_addr socket port host with
     | Error _ as e -> e
     | Ok addr -> (
+        match Fmtk_server.Store.sync_policy_of_string sync_pol with
+        | Error e -> Error (`Msg e)
+        | Ok sync -> (
         let preload =
           List.map
             (fun kv ->
@@ -668,6 +672,11 @@ let serve_cmd =
                 idle_timeout =
                   Option.value idle_timeout ~default:d.Server.idle_timeout;
                 max_line = Option.value max_line ~default:d.Server.max_line;
+                data_dir;
+                sync;
+                snapshot_threshold =
+                  Option.value snapshot_threshold
+                    ~default:d.Server.snapshot_threshold;
                 inject_faults = inject;
                 log =
                   (if quiet then None
@@ -693,7 +702,7 @@ let serve_cmd =
                 Sys.set_signal Sys.sigint (handler 130);
                 Sys.set_signal Sys.sigterm (handler 143);
                 Server.run srv;
-                Ok ()))
+                Ok ())))
   in
   let socket, port, host = addr_args in
   let workers =
@@ -743,6 +752,35 @@ let serve_cmd =
       & info [ "preload" ] ~docv:"NAME=SPEC"
           ~doc:"Preload a structure into the store (repeatable).")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the structure store under $(docv) (write-ahead journal \
+             + checksummed snapshots); on restart every acknowledged \
+             load/drop is recovered before the socket binds. A corrupt \
+             $(docv) refuses startup (exit 1).")
+  in
+  let sync_pol =
+    Arg.(
+      value & opt string "always"
+      & info [ "sync" ] ~docv:"POLICY"
+          ~doc:
+            "Journal fsync policy with $(b,--data-dir): $(b,always) (fsync \
+             before every ack), $(b,interval:N) (every N mutations), or \
+             $(b,never) (leave it to OS writeback).")
+  in
+  let snapshot_threshold =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-threshold" ] ~docv:"BYTES"
+          ~doc:
+            "Compact the journal into a snapshot once it grows past \
+             $(docv) bytes.")
+  in
   let inject =
     Arg.(
       value & flag
@@ -761,7 +799,8 @@ let serve_cmd =
     Term.(
       const run $ socket $ port $ host $ workers $ max_inflight
       $ default_timeout $ max_timeout $ drain_timeout $ idle_timeout
-      $ max_line $ preload $ inject $ quiet)
+      $ max_line $ preload $ data_dir $ sync_pol $ snapshot_threshold
+      $ inject $ quiet)
 
 let query_cmd =
   let run socket port host retry requests =
@@ -801,16 +840,50 @@ let query_cmd =
         | Ok fd ->
             let ic = Unix.in_channel_of_descr fd in
             let oc = Unix.out_channel_of_descr fd in
+            (* [shed] responses carry the server's own backoff hint:
+               honor it (with jitter, so a burst of shed clients does
+               not reconverge on the same instant) for a bounded number
+               of attempts before surfacing the shed to the caller. *)
+            let retry_after resp =
+              match Fmtk_server.Json.parse resp with
+              | Error _ -> None
+              | Ok json -> (
+                  match
+                    Option.bind
+                      (Fmtk_server.Json.member "status" json)
+                      Fmtk_server.Json.get_string
+                  with
+                  | Some "shed" ->
+                      Some
+                        (Option.value ~default:50
+                           (Option.bind
+                              (Fmtk_server.Json.member "retry_after_ms" json)
+                              Fmtk_server.Json.get_int))
+                  | _ -> None)
+            in
+            let rng = Random.State.make_self_init () in
             let send line =
-              output_string oc line;
-              output_char oc '\n';
-              flush oc;
-              match input_line ic with
-              | resp ->
-                  print_endline resp;
-                  Ok ()
-              | exception End_of_file ->
-                  Error (`Msg "server closed the connection")
+              let rec attempt tries =
+                output_string oc line;
+                output_char oc '\n';
+                flush oc;
+                match input_line ic with
+                | resp -> (
+                    match retry_after resp with
+                    | Some ms when tries < 5 ->
+                        let ms = max 1 (min 2000 ms) in
+                        let jittered =
+                          (ms / 2) + Random.State.int rng ((ms / 2) + 1)
+                        in
+                        Unix.sleepf (float_of_int jittered /. 1000.);
+                        attempt (tries + 1)
+                    | _ ->
+                        print_endline resp;
+                        Ok ())
+                | exception End_of_file ->
+                    Error (`Msg "server closed the connection")
+              in
+              attempt 0
             in
             let rec send_all = function
               | [] -> Ok ()

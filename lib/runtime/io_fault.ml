@@ -1,0 +1,29 @@
+type point =
+  | Crash_before_sync of int
+  | Crash_after_append of int
+  | Short_write of { at : int; bytes : int }
+
+exception Crash
+
+type t = { point : point; mutable appends : int; mutable syncs : int }
+
+let create point = { point; appends = 0; syncs = 0 }
+
+let crash () = raise Crash
+
+let short_write t =
+  t.appends <- t.appends + 1;
+  match t.point with
+  | Short_write { at; bytes } when t.appends = at -> Some (max 0 bytes)
+  | _ -> None
+
+let after_append t =
+  match t.point with
+  | Crash_after_append at when t.appends = at -> crash ()
+  | _ -> ()
+
+let before_sync t =
+  t.syncs <- t.syncs + 1;
+  match t.point with
+  | Crash_before_sync at when t.syncs = at -> crash ()
+  | _ -> ()

@@ -1,0 +1,55 @@
+(** Deterministic IO fault injection for the durability layer.
+
+    {!Budget}'s [inject] points let the differential suites prove that
+    compute faults (exhaustion, cancellation, worker crashes) never
+    produce a wrong verdict. This module is the same discipline for
+    {e storage}: a fault plan armed on a journal writer makes the nth
+    append or sync die at a precise point, raising {!Crash} — the
+    in-process stand-in for [kill -9] — so crash-recovery paths are
+    testable deterministically, without forking a process.
+
+    The file left behind is exactly what a killed process would leave:
+    a fully-written record ([Crash_after_append], [Crash_before_sync])
+    or a prefix of one ([Short_write]). A mutation interrupted by
+    {!Crash} was by construction {e never acknowledged}, so recovery is
+    allowed to surface it or drop it — but never a torn version of it. *)
+
+(** Where the simulated crash fires. Counts are 1-based and count the
+    writer's appends (resp. syncs) since the plan was armed. *)
+type point =
+  | Crash_before_sync of int
+      (** die on the nth sync, after the record hit the file but before
+          the fsync that would make it durable *)
+  | Crash_after_append of int
+      (** die right after the nth record is fully written, before any
+          sync policy runs *)
+  | Short_write of { at : int; bytes : int }
+      (** write only the first [bytes] bytes of the nth framed record,
+          then die — the torn-tail generator *)
+
+(** The simulated [kill -9]. Escapes the IO layer directly: callers of
+    the durable store must treat the store as dead (as a killed process
+    would be) — the test harness catches it at top level and reopens. *)
+exception Crash
+
+type t
+
+val create : point -> t
+
+(** {1 Writer hooks} — called by {!Fmtk_server.Journal}'s writer. *)
+
+(** [short_write t] counts one append; [Some bytes] on the armed
+    append ([Short_write]) means the caller must write only [bytes]
+    bytes of the frame and then call {!crash}. *)
+val short_write : t -> int option
+
+(** [after_append t] raises {!Crash} when the just-counted append is the
+    armed [Crash_after_append] point. *)
+val after_append : t -> unit
+
+(** [before_sync t] counts one sync and raises {!Crash} on the armed
+    [Crash_before_sync] point. *)
+val before_sync : t -> unit
+
+(** Raise {!Crash}. *)
+val crash : unit -> 'a

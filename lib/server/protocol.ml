@@ -5,6 +5,7 @@ type request =
   | List_structures
   | Stats
   | Load of { name : string; spec : string option; text : string option }
+  | Drop of { name : string }
   | Eval of { structure : string; formula : string }
   | Game of {
       left : string;
@@ -63,6 +64,9 @@ let parse_body json =
       if spec = None && text = None then
         Error "load needs a \"spec\" or a \"text\" field"
       else Ok (Load { name; spec; text })
+  | "drop" ->
+      let* name = string_field json "name" in
+      Ok (Drop { name })
   | "eval" ->
       let* structure = string_field json "structure" in
       let* formula = string_field json "formula" in
@@ -126,7 +130,7 @@ let parse_request line =
 
 let is_inline = function
   | Ping | List_structures | Stats -> true
-  | Load _ | Eval _ | Game _ | Decide _ -> false
+  | Load _ | Drop _ | Eval _ | Game _ | Decide _ -> false
 
 (* ---- responses ---- *)
 

@@ -11,6 +11,7 @@
       {"id":2,"op":"eval","structure":"c6","formula":"forall x. exists y. E(x,y)"}
       {"id":3,"op":"game","left":"c6","right":"c7","rounds":3}
       {"id":4,"op":"decide","left":"c6","right":"c7","rank":3,"timeout":0.5}
+      {"id":5,"op":"drop","name":"c6"}
       {"op":"ping"}   {"op":"list"}   {"op":"stats"}
     v}
 
@@ -23,8 +24,13 @@
     - ["error"] — no answer; [code] is machine-readable
       ([bad-json], [bad-request], [unknown-structure], [parse-error],
       [deadline-over-limit], [too-expensive], [oversized], [gave-up],
-      [worker-crash], [store-full], [idle-timeout], [shutting-down]),
-      [error] is human-readable. *)
+      [worker-crash], [store-full], [too-large], [io-error],
+      [idle-timeout], [shutting-down]), [error] is human-readable.
+
+    The [load] / [drop] mutations are acknowledged only after the
+    mutation is journaled per the server's durability configuration
+    (see {!Store}); an ["ok"] for either means the change survives a
+    crash. *)
 
 module Json = Json
 
@@ -34,6 +40,7 @@ type request =
   | List_structures
   | Stats
   | Load of { name : string; spec : string option; text : string option }
+  | Drop of { name : string }
   | Eval of { structure : string; formula : string }
   | Game of {
       left : string;

@@ -24,6 +24,9 @@ type config = {
   store_capacity : int;
   max_structure_size : int;
   cache_capacity : int;
+  data_dir : string option;
+  sync : Store.sync_policy;
+  snapshot_threshold : int;
   inject_faults : bool;
   log : (string -> unit) option;
 }
@@ -41,6 +44,9 @@ let default_config addr =
     store_capacity = 256;
     max_structure_size = 100_000;
     cache_capacity = 512;
+    data_dir = None;
+    sync = Store.Always;
+    snapshot_threshold = 64 * 1024 * 1024;
     inject_faults = false;
     log = None;
   }
@@ -57,6 +63,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   structures : int;
+  durability : Store.durability_stats option;
 }
 
 type conn = {
@@ -216,7 +223,9 @@ let run_request t (job : job) =
       | Error e -> raise (Reject ("parse-error", e))
       | Ok s -> (
           match Store.put t.store ~name s with
-          | Error e -> raise (Reject ("store-full", e))
+          | Error (Store.Full e) -> raise (Reject ("store-full", e))
+          | Error (Store.Too_large e) -> raise (Reject ("too-large", e))
+          | Error (Store.Io e) -> raise (Reject ("io-error", e))
           | Ok () ->
               Qcache.invalidate t.cache ~sname:name;
               ( `Ok,
@@ -225,6 +234,19 @@ let run_request t (job : job) =
                   ("size", Json.of_int (Structure.size s));
                   ("tuples", Json.of_int (Structure.tuple_count s));
                 ] )))
+  | Protocol.Drop { name } -> (
+      match Store.remove t.store name with
+      | Error e -> raise (Reject ("io-error", e))
+      | Ok false ->
+          raise
+            (Reject
+               ( "unknown-structure",
+                 Printf.sprintf "no structure named %S to drop" name ))
+      | Ok true ->
+          (* The cache keys compiled formulas by structure name: a future
+             load under this name must not see stale entries. *)
+          Qcache.invalidate t.cache ~sname:name;
+          (`Ok, [ ("name", Json.Str name); ("dropped", Json.Bool true) ]))
   | Protocol.Eval { structure; formula } -> (
       let s = get structure in
       match Qcache.formula t.cache (Structure.signature s) formula with
@@ -397,6 +419,7 @@ let snapshot t =
     cache_hits = Qcache.hits t.cache;
     cache_misses = Qcache.misses t.cache;
     structures = Store.count t.store;
+    durability = Store.durability_stats t.store;
   }
 
 let inline_response t (req : Protocol.request) id t0 =
@@ -417,7 +440,7 @@ let inline_response t (req : Protocol.request) id t0 =
       let s = snapshot t in
       let probes = s.cache_hits + s.cache_misses in
       Protocol.ok ~ms:((now () -. t0) *. 1000.) ~id
-        [
+        ([
           ("uptime_s", Json.Num s.uptime_s);
           ("connections", Json.of_int s.connections);
           ("received", Json.of_int s.received);
@@ -435,7 +458,23 @@ let inline_response t (req : Protocol.request) id t0 =
           ("structures", Json.of_int s.structures);
           ("workers", Json.of_int t.cfg.workers);
           ("max_inflight", Json.of_int t.cfg.max_inflight);
-        ]
+         ]
+        @ match s.durability with
+          | None -> []
+          | Some d ->
+              [
+                ("data_dir", Json.Str d.Store.data_dir);
+                ("sync", Json.Str (Store.sync_policy_to_string d.Store.sync));
+                ("journaled", Json.of_int d.Store.journaled);
+                ("journal_bytes", Json.of_int d.Store.journal_bytes);
+                ("compactions", Json.of_int d.Store.compactions);
+                ( "recovered_snapshot",
+                  Json.of_int d.Store.recovered.Store.snapshot_records );
+                ( "recovered_journal",
+                  Json.of_int d.Store.recovered.Store.journal_records );
+                ( "recovered_torn_bytes",
+                  Json.of_int d.Store.recovered.Store.torn_bytes );
+              ])
   | _ -> assert false
 
 (* Deterministic fault mix for [inject_faults] runs: 3 faulted requests
@@ -597,17 +636,54 @@ let reader_thread t conn =
 
 let create ?(preload = []) cfg =
   let cfg = { cfg with workers = max 1 cfg.workers } in
-  match bind_listen cfg.addr with
+  (* Recover the store BEFORE binding the socket: readiness is the bind,
+     so no client can connect until every acked mutation from the
+     previous life is back — and a corrupt data dir refuses to serve
+     rather than serving an empty store. *)
+  let store_result =
+    match cfg.data_dir with
+    | None ->
+        Ok
+          (Store.create ~capacity:cfg.store_capacity
+             ~max_size:cfg.max_structure_size ())
+    | Some dir -> (
+        match
+          Store.open_durable ~capacity:cfg.store_capacity
+            ~max_size:cfg.max_structure_size ~sync:cfg.sync
+            ~snapshot_threshold:cfg.snapshot_threshold ~dir ()
+        with
+        | Error e -> Error (Printf.sprintf "data dir %s unusable: %s" dir e)
+        | Ok (store, r) ->
+            (match cfg.log with
+            | None -> ()
+            | Some f ->
+                f
+                  (Printf.sprintf
+                     "recovered %d structure(s) from %s (%d snapshot + %d \
+                      journal records%s) in %.1f ms"
+                     (Store.count store) dir r.Store.snapshot_records
+                     r.Store.journal_records
+                     (if r.Store.torn_bytes > 0 then
+                        Printf.sprintf ", %d torn byte(s) truncated"
+                          r.Store.torn_bytes
+                      else "")
+                     r.Store.recovery_ms));
+            Ok store)
+  in
+  match store_result with
   | Error e -> Error e
-  | exception Unix.Unix_error (err, fn, arg) ->
-      Error
-        (Printf.sprintf "cannot bind %s: %s (%s)" fn (Unix.error_message err)
-           arg)
-  | Ok (listen_fd, tcp_port) -> (
-      let store =
-        Store.create ~capacity:cfg.store_capacity
-          ~max_size:cfg.max_structure_size ()
+  | Ok store -> (
+      let fail e =
+        Store.close store;
+        Error e
       in
+      match bind_listen cfg.addr with
+      | Error e -> fail e
+      | exception Unix.Unix_error (err, fn, arg) ->
+          fail
+            (Printf.sprintf "cannot bind %s: %s (%s)" fn
+               (Unix.error_message err) arg)
+      | Ok (listen_fd, tcp_port) -> (
       let preload_result =
         List.fold_left
           (fun acc (name, spec) ->
@@ -620,14 +696,16 @@ let create ?(preload = []) cfg =
                 | Ok s -> (
                     match Store.put store ~name s with
                     | Error e ->
-                        Error (Printf.sprintf "preload %s: %s" name e)
+                        Error
+                          (Printf.sprintf "preload %s: %s" name
+                             (Store.put_error_to_string e))
                     | Ok () -> Ok ())))
           (Ok ()) preload
       in
       match preload_result with
       | Error e ->
           close_quietly listen_fd;
-          Error e
+          fail e
       | Ok () ->
           Ok
             {
@@ -652,7 +730,7 @@ let create ?(preload = []) cfg =
               readers = (Mutex.create (), ref []);
               conns = (Mutex.create (), ref []);
               started_at = now ();
-            })
+            }))
 
 let shutdown t = Atomic.set t.stop true
 
@@ -754,6 +832,8 @@ let run t =
       Mutex.unlock conn.out_mutex;
       close_quietly conn.fd)
     conns_now;
+  (* All workers are joined: no mutation can race this final flush. *)
+  Store.close t.store;
   let s = stats t in
   log t
     (Printf.sprintf

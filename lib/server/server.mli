@@ -36,7 +36,15 @@
       store, callable from a SIGINT/SIGTERM handler) stops the accept
       loop; {!run} then stops reading, drains in-flight requests under
       [drain_timeout], cancels stragglers through the root token, joins
-      every worker domain and reader thread, and returns. *)
+      every worker domain and reader thread, and returns.
+    - {b Durability}: with [data_dir] set the store is backed by a
+      write-ahead {!Journal} and compacting {!Snapshot}s; [load]/[drop]
+      are acknowledged only after journaling per the [sync] policy, and
+      {!create} replays the previous life's data {e before} binding the
+      socket — so a client that can connect sees every acked mutation,
+      and a corrupt data dir refuses startup instead of silently serving
+      an empty store. The kill-9 harness in [test/test_server.ml]
+      (group [crash]) enforces this end to end. *)
 
 module Budget = Fmtk_runtime.Budget
 
@@ -56,6 +64,12 @@ type config = {
   store_capacity : int;
   max_structure_size : int;
   cache_capacity : int;
+  data_dir : string option;
+      (** persist the store here ({!Store.open_durable}); [None] is the
+          in-memory store *)
+  sync : Store.sync_policy;  (** journal fsync policy (durable stores) *)
+  snapshot_threshold : int;
+      (** journal bytes that trigger a compacting snapshot *)
   inject_faults : bool;
       (** deterministically inject budget/worker faults into a fraction
           of requests ({!Budget.inject}) — the E27 adversity harness *)
@@ -79,13 +93,16 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   structures : int;
+  durability : Store.durability_stats option;
+      (** [None] unless running with a [data_dir] *)
 }
 
 type t
 
-(** Binds and listens (replacing a stale Unix-socket file), preloads
-    [(name, spec)] structures, creates store and cache — but accepts no
-    connection until {!run}. *)
+(** Opens (and, with [data_dir], recovers) the store, then binds and
+    listens (replacing a stale Unix-socket file), preloads
+    [(name, spec)] structures, creates the cache — but accepts no
+    connection until {!run}. [Error] if the data dir is corrupt. *)
 val create : ?preload:(string * string) list -> config -> (t, string) result
 
 (** Serve until {!shutdown}; returns after the drain completes. Spawns

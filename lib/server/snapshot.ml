@@ -1,0 +1,73 @@
+module Structure = Fmtk_structure.Structure
+
+let file_name = "snapshot.fmtk"
+
+let temp_name = "snapshot.fmtk.tmp"
+
+let path ~dir = Filename.concat dir file_name
+
+let temp_path ~dir = Filename.concat dir temp_name
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let fsync_dir dir =
+  (* Persist the rename itself. Directory fsync is best-effort: some
+     filesystems refuse it, and the rename is still atomic there. *)
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write ~dir ?inject entries =
+  let tmp = temp_path ~dir in
+  let* w = Journal.open_append ?inject tmp in
+  let finish r =
+    Journal.close w;
+    (match r with
+    | Ok () -> ()
+    | Error _ -> ( try Sys.remove tmp with Sys_error _ -> ()));
+    r
+  in
+  finish
+    (let* () = Journal.reset w (* a crashed earlier compaction may have left bytes *) in
+     let* () =
+       List.fold_left
+         (fun acc (name, s) ->
+           let* () = acc in
+           Journal.append w
+             (Journal.Put { name; data = Journal.encode_structure s }))
+         (Ok ()) entries
+     in
+     let* () = Journal.sync w in
+     match Unix.rename tmp (path ~dir) with
+     | () ->
+         fsync_dir dir;
+         Ok ()
+     | exception Unix.Unix_error (e, _, _) ->
+         Error (Printf.sprintf "rename: %s" (Unix.error_message e)))
+
+let load ~dir =
+  match
+    Journal.replay ~path:(path ~dir) ~init:[] ~f:(fun acc r -> r :: acc)
+  with
+  | Error e -> Error ("snapshot " ^ Journal.error_to_string e)
+  | Ok (_, _, Journal.Torn { at; _ }) ->
+      Error
+        (Printf.sprintf
+           "snapshot corrupt at byte %d: torn record in an atomically \
+            written file"
+           at)
+  | Ok (rev_records, _, Journal.Clean) ->
+      List.fold_left
+        (fun acc r ->
+          let* entries = acc in
+          match r with
+          | Journal.Remove _ -> Ok entries
+          | Journal.Put { name; data } -> (
+              match Journal.decode_structure data with
+              | Ok s -> Ok ((name, s) :: entries)
+              | Error e ->
+                  Error
+                    (Printf.sprintf "snapshot record %S undecodable: %s" name e)))
+        (Ok []) rev_records

@@ -10,11 +10,14 @@
 module Json = Fmtk_server.Json
 module Protocol = Fmtk_server.Protocol
 module Store = Fmtk_server.Store
+module Journal = Fmtk_server.Journal
 module Qcache = Fmtk_server.Qcache
 module Server = Fmtk_server.Server
 module Budget = Fmtk_runtime.Budget
+module Io_fault = Fmtk_runtime.Io_fault
 module Gen = Fmtk_structure.Gen
 module Structure = Fmtk_structure.Structure
+module Structure_io = Fmtk_structure.Structure_io
 module Signature = Fmtk_logic.Signature
 module Parser = Fmtk_logic.Parser
 
@@ -137,11 +140,20 @@ let test_protocol_parse () =
   (match ok {|{"op":"decide","left":"a","right":"b","rank":4}|} with
   | Protocol.Decide { rank = 4; _ }, _ -> ()
   | _ -> Alcotest.fail "decide misparsed");
+  (match ok {|{"op":"drop","name":"c"}|} with
+  | Protocol.Drop { name = "c" }, _ -> ()
+  | _ -> Alcotest.fail "drop misparsed");
   (* Inline classification. *)
   checkb "ping inline" true (Protocol.is_inline Protocol.Ping);
   checkb "stats inline" true (Protocol.is_inline Protocol.Stats);
   checkb "decide pooled" false
     (Protocol.is_inline (Protocol.Decide { left = "a"; right = "b"; rank = 1 }));
+  (* Drop mutates the store, so it must go through the pool (and the
+     journal) like load, never the inline fast path. *)
+  checkb "drop pooled" false
+    (Protocol.is_inline (Protocol.Drop { name = "c" }));
+  checkb "drop without name" true
+    (body_code (Protocol.parse_request {|{"op":"drop"}|}) = Some "bad-request");
   (* Malformed bodies keep the id and name a code. *)
   let env = Protocol.parse_request {|{"op":"nope","id":7}|} in
   checkb "unknown op id echoed" true (env.Protocol.id = Some (Json.Num 7.));
@@ -186,13 +198,415 @@ let test_store () =
     (match Store.get st "a" with
     | Some s -> Structure.size s = 5
     | None -> false);
-  (* Fresh names past capacity and oversized structures are refused. *)
+  (* Fresh names past capacity and oversized structures are refused —
+     with distinct error codes, so a client knows whether dropping
+     something would help. *)
   checkb "store full" true
-    (match Store.put st ~name:"c" (Gen.cycle 3) with Error _ -> true | Ok () -> false);
+    (match Store.put st ~name:"c" (Gen.cycle 3) with
+    | Error (Store.Full _) -> true
+    | _ -> false);
   checkb "oversized" true
-    (match Store.put st ~name:"a" (Gen.cycle 11) with Error _ -> true | Ok () -> false);
+    (match Store.put st ~name:"a" (Gen.cycle 11) with
+    | Error (Store.Too_large _) -> true
+    | _ -> false);
   checki "count" 2 (Store.count st);
-  checki "names" 2 (List.length (Store.names st))
+  checki "names" 2 (List.length (Store.names st));
+  (* Removal frees capacity; removing an absent name is a clean no. *)
+  checkb "remove" true (Store.remove st "a" = Ok true);
+  checkb "remove absent" true (Store.remove st "a" = Ok false);
+  checkb "freed capacity" true (Store.put st ~name:"c" (Gen.cycle 3) = Ok ());
+  checki "count after churn" 2 (Store.count st);
+  (* In-memory stores have no durability surface. *)
+  checkb "no durability stats" true (Store.durability_stats st = None);
+  checkb "no compaction" true
+    (match Store.compact st with Error _ -> true | Ok () -> false)
+
+(* ---------- journal codec ---------- *)
+
+let tmp_counter = ref 0
+
+let rec rm_rf p =
+  match Unix.lstat p with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+  | _ -> Unix.unlink p
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_tmp_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fmtk-t%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> try rm_rf dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let write_file path bytes =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes)
+
+let replay_list path =
+  match Journal.replay ~path ~init:[] ~f:(fun acc r -> r :: acc) with
+  | Ok (rev, n, tail) -> Ok (List.rev rev, n, tail)
+  | Error _ as e -> e
+
+let test_journal_roundtrip () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.fmtk" in
+  let records =
+    [
+      Journal.Put { name = "a"; data = "" };
+      Journal.Remove { name = "" };
+      Journal.Put
+        { name = "weird \n\x00\xff name"; data = String.init 256 Char.chr };
+      Journal.Remove { name = "gone" };
+    ]
+  in
+  write_file path (String.concat "" (List.map Journal.encode records));
+  (match replay_list path with
+  | Ok (rs, n, Journal.Clean) ->
+      checki "replay count" 4 n;
+      checkb "records round-trip" true (rs = records)
+  | Ok (_, _, Journal.Torn _) -> Alcotest.fail "intact file reported torn"
+  | Error e -> Alcotest.fail (Journal.error_to_string e));
+  (* A missing journal is an empty journal, not an error. *)
+  match replay_list (Filename.concat dir "absent") with
+  | Ok ([], 0, Journal.Clean) -> ()
+  | _ -> Alcotest.fail "missing file should replay as empty"
+
+let test_journal_structure_forms () =
+  (* Graph-shaped structures journal in the streaming [graph N] form;
+     CSR-backed graphs round-trip through it byte-identically. *)
+  let n = Structure.csr_auto_threshold + 10 in
+  let big = Gen.cycle n in
+  let data = Journal.encode_structure big in
+  checkb "csr graph journals in graph form" true
+    (String.length data > 6 && String.sub data 0 6 = "graph ");
+  (match Journal.decode_structure data with
+  | Ok s' ->
+      checkb "csr round-trip equal" true (Structure.equal big s');
+      checks "csr round-trip print"
+        (Structure_io.to_string big)
+        (Structure_io.to_string s')
+  | Error e -> Alcotest.fail e);
+  (* A single-binary-relation structure NOT named E must keep the
+     directive form — the graph form would rename its relation. *)
+  let lo = Gen.linear_order 5 in
+  let data = Journal.encode_structure lo in
+  checkb "non-graph keeps directive form" true
+    (String.length data < 6 || String.sub data 0 6 <> "graph ");
+  match Journal.decode_structure data with
+  | Ok s' -> checkb "directive round-trip" true (Structure.equal lo s')
+  | Error e -> Alcotest.fail e
+
+let prop_journal_records_roundtrip =
+  let open QCheck2 in
+  let gen_record =
+    Gen.(
+      let any_string = string_size ~gen:(char_range '\x00' '\xff') (0 -- 64) in
+      oneof
+        [
+          map2
+            (fun name data -> Journal.Put { name; data })
+            any_string any_string;
+          map (fun name -> Journal.Remove { name }) any_string;
+        ])
+  in
+  QCheck2.Test.make ~name:"journal file of random records round-trips"
+    ~count:60
+    QCheck2.Gen.(list_size (0 -- 20) gen_record)
+    (fun records ->
+      with_tmp_dir @@ fun dir ->
+      let path = Filename.concat dir "j.fmtk" in
+      write_file path (String.concat "" (List.map Journal.encode records));
+      match replay_list path with
+      | Ok (rs, n, Journal.Clean) ->
+          n = List.length records && rs = records
+      | _ -> false)
+
+let prop_journal_structures_roundtrip =
+  let gen_structure =
+    QCheck2.Gen.(
+      let* pick = 0 -- 2 in
+      match pick with
+      | 0 ->
+          let* n = 1 -- 30 in
+          let* seed = 0 -- 10_000 in
+          return
+            (Gen.random_graph ~rng:(Random.State.make [| seed |]) n 0.3)
+      | 1 ->
+          let* n = 1 -- 24 in
+          return (Gen.cycle n)
+      | _ ->
+          let* n = 1 -- 12 in
+          return (Gen.linear_order n))
+  in
+  QCheck2.Test.make ~name:"journal structure payloads round-trip" ~count:60
+    gen_structure (fun s ->
+      match Journal.decode_structure (Journal.encode_structure s) with
+      | Error _ -> false
+      | Ok s' ->
+          Structure.equal s s'
+          && Structure_io.to_string s = Structure_io.to_string s')
+
+(* The torn/corrupt corpus: one fixed 3-record journal, damaged every
+   possible way. Truncation at every byte boundary must recover the
+   clean prefix (a kill -9 can produce exactly these files); a flipped
+   byte anywhere before the final record's payload must refuse. *)
+
+let corpus_records =
+  [
+    Journal.Put { name = "a"; data = "alpha" };
+    Journal.Put { name = "bb"; data = String.make 37 'x' };
+    Journal.Remove { name = "a" };
+  ]
+
+let test_journal_truncation_corpus () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.fmtk" in
+  let encoded = List.map Journal.encode corpus_records in
+  let full = String.concat "" encoded in
+  let total = String.length full in
+  (* Record-end offsets, 0 included: every clean stopping point. *)
+  let boundaries =
+    List.rev
+      (List.fold_left
+         (fun acc e -> (List.hd acc + String.length e) :: acc)
+         [ 0 ] encoded)
+  in
+  for cut = 0 to total do
+    write_file path (String.sub full 0 cut);
+    let complete =
+      List.length (List.filter (fun b -> b > 0 && b <= cut) boundaries)
+    in
+    let last_boundary =
+      List.fold_left (fun m b -> if b <= cut then max m b else m) 0 boundaries
+    in
+    match replay_list path with
+    | Error e ->
+        Alcotest.failf "cut at %d refused: %s" cut (Journal.error_to_string e)
+    | Ok (rs, n, tail) -> (
+        checki (Printf.sprintf "records at cut %d" cut) complete n;
+        checkb
+          (Printf.sprintf "prefix at cut %d" cut)
+          true
+          (rs = List.filteri (fun i _ -> i < complete) corpus_records);
+        match tail with
+        | Journal.Clean ->
+            checkb
+              (Printf.sprintf "clean only at boundaries (cut %d)" cut)
+              true (cut = last_boundary)
+        | Journal.Torn { at; dropped } ->
+            checkb
+              (Printf.sprintf "torn off-boundary (cut %d)" cut)
+              true
+              (cut <> last_boundary);
+            checki (Printf.sprintf "torn at (cut %d)" cut) last_boundary at;
+            checki
+              (Printf.sprintf "torn dropped (cut %d)" cut)
+              (cut - last_boundary) dropped)
+  done
+
+let test_journal_flip_corpus () =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "j.fmtk" in
+  let encoded = List.map Journal.encode corpus_records in
+  let full = String.concat "" encoded in
+  let total = String.length full in
+  let last_off =
+    List.fold_left ( + ) 0
+      (List.map String.length
+         (List.filteri
+            (fun i _ -> i < List.length encoded - 1)
+            encoded))
+  in
+  (* Damage before this offset can never be a legal kill -9 tear; at or
+     past it (the final record's payload) a checksum failure ending at
+     EOF is indistinguishable from one, and must be dropped as a tear. *)
+  let last_payload_start = last_off + 12 in
+  for p = 0 to total - 1 do
+    let b = Bytes.of_string full in
+    Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor 0xff));
+    write_file path (Bytes.to_string b);
+    match replay_list path with
+    | Error (Journal.Corrupt _) ->
+        checkb
+          (Printf.sprintf "corrupt only before last payload (flip %d)" p)
+          true
+          (p < last_payload_start)
+    | Ok (rs, n, Journal.Torn { at; _ }) ->
+        checkb
+          (Printf.sprintf "tear only in last payload (flip %d)" p)
+          true
+          (p >= last_payload_start);
+        checki (Printf.sprintf "tear keeps prefix (flip %d)" p) 2 n;
+        checki (Printf.sprintf "tear offset (flip %d)" p) last_off at;
+        checkb
+          (Printf.sprintf "tear prefix records (flip %d)" p)
+          true
+          (rs = List.filteri (fun i _ -> i < 2) corpus_records)
+    | Ok (_, _, Journal.Clean) ->
+        Alcotest.failf "flipped byte at %d went undetected" p
+    | Error (Journal.Io_error e) ->
+        Alcotest.failf "flip at %d gave io error: %s" p e
+  done
+
+(* ---------- durable store ---------- *)
+
+let put_ok st name s =
+  match Store.put st ~name s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "put %s: %s" name (Store.put_error_to_string e)
+
+let open_dir ?sync ?snapshot_threshold ?inject dir =
+  match Store.open_durable ?sync ?snapshot_threshold ?inject ~dir () with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "open_durable: %s" e
+
+let print_of st name =
+  match Store.get st name with
+  | Some s -> Structure_io.to_string s
+  | None -> Alcotest.failf "structure %s missing after recovery" name
+
+let test_store_recovery () =
+  with_tmp_dir @@ fun dir ->
+  let st, r = open_dir dir in
+  checki "fresh dir has nothing to recover" 0
+    (r.Store.snapshot_records + r.Store.journal_records);
+  put_ok st "a" (Gen.cycle 5);
+  put_ok st "b" (Gen.linear_order 4);
+  let b_print = print_of st "b" in
+  checkb "remove acked" true (Store.remove st "a" = Ok true);
+  put_ok st "c" (Gen.grid 2 3);
+  let c_print = print_of st "c" in
+  Store.close st;
+  (* A closed durable store is read-only. *)
+  checkb "closed store refuses puts" true
+    (match Store.put st ~name:"z" (Gen.cycle 3) with
+    | Error (Store.Io _) -> true
+    | _ -> false);
+  let st2, r2 = open_dir dir in
+  checki "journal replayed" 4 r2.Store.journal_records;
+  checki "torn bytes" 0 r2.Store.torn_bytes;
+  checki "recovered count" 2 (Store.count st2);
+  checkb "removed name stays gone" true (Store.get st2 "a" = None);
+  checks "b byte-identical" b_print (print_of st2 "b");
+  checks "c byte-identical" c_print (print_of st2 "c");
+  (* The recovered store keeps acking mutations. *)
+  put_ok st2 "d" (Gen.cycle 7);
+  Store.close st2;
+  let st3, _ = open_dir dir in
+  checki "second recovery" 3 (Store.count st3);
+  Store.close st3
+
+let test_store_torn_write () =
+  with_tmp_dir @@ fun dir ->
+  (* The third append dies after 7 bytes — a torn frame on disk, the
+     "process" gone. Everything acked before it must survive; the torn
+     record must be invisible; the journal must keep accepting work. *)
+  let inject = Io_fault.create (Io_fault.Short_write { at = 3; bytes = 7 }) in
+  let st, _ = open_dir ~inject dir in
+  put_ok st "a" (Gen.cycle 5);
+  put_ok st "b" (Gen.cycle 6);
+  let a_print = print_of st "a" in
+  (match Store.put st ~name:"c" (Gen.cycle 9) with
+  | exception Io_fault.Crash -> ()
+  | Ok () -> Alcotest.fail "injected short write did not crash"
+  | Error e -> Alcotest.fail (Store.put_error_to_string e));
+  let st2, r = open_dir dir in
+  checkb "torn tail truncated" true (r.Store.torn_bytes > 0);
+  checki "acked mutations survived" 2 (Store.count st2);
+  checkb "torn record invisible" true (Store.get st2 "c" = None);
+  checks "acked bytes intact" a_print (print_of st2 "a");
+  (* The truncated journal is a valid append point. *)
+  put_ok st2 "c" (Gen.cycle 9);
+  Store.close st2;
+  let st3, r3 = open_dir dir in
+  checki "clean after re-append" 0 r3.Store.torn_bytes;
+  checki "final count" 3 (Store.count st3);
+  Store.close st3
+
+let test_store_crash_points () =
+  (* Crash_after_append: the record is complete on disk but never
+     acked — recovering it is allowed (and with a completed append,
+     expected). Crash_before_sync: same file state, crash in fsync. In
+     both cases recovery must be clean and every acked put intact. *)
+  List.iter
+    (fun point ->
+      with_tmp_dir @@ fun dir ->
+      let inject = Io_fault.create point in
+      let st, _ = open_dir ~inject dir in
+      put_ok st "a" (Gen.cycle 5);
+      (match Store.put st ~name:"b" (Gen.cycle 6) with
+      | exception Io_fault.Crash -> ()
+      | Ok () -> Alcotest.fail "injected crash did not fire"
+      | Error e -> Alcotest.fail (Store.put_error_to_string e));
+      let st2, r = open_dir dir in
+      checki "no tear from a clean append" 0 r.Store.torn_bytes;
+      checkb "acked put survived" true (Store.get st2 "a" <> None);
+      checkb "unacked put recovered whole, or not at all" true
+        (match Store.get st2 "b" with
+        | None -> true
+        | Some s -> Structure.equal s (Gen.cycle 6));
+      Store.close st2)
+    [ Io_fault.Crash_after_append 2; Io_fault.Crash_before_sync 2 ]
+
+let test_store_compaction () =
+  with_tmp_dir @@ fun dir ->
+  let st, _ = open_dir ~sync:Store.Never ~snapshot_threshold:1 dir in
+  (* threshold clamps to 4096 bytes; ~200 records cross it repeatedly *)
+  for i = 1 to 200 do
+    put_ok st (Printf.sprintf "s%03d" i) (Gen.cycle (3 + (i mod 7)))
+  done;
+  let d =
+    match Store.durability_stats st with
+    | Some d -> d
+    | None -> Alcotest.fail "durable store without stats"
+  in
+  checkb "compaction ran" true (d.Store.compactions >= 1);
+  checkb "journal stays bounded" true (d.Store.journal_bytes < 3 * 4096);
+  (* Explicit compaction empties the journal entirely. *)
+  (match Store.compact st with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let d2 = Option.get (Store.durability_stats st) in
+  checki "journal empty after compact" 0 d2.Store.journal_bytes;
+  Store.close st;
+  let st2, r = open_dir dir in
+  checki "all records in the snapshot" 200 r.Store.snapshot_records;
+  checki "journal tail empty" 0 r.Store.journal_records;
+  checki "everything recovered" 200 (Store.count st2);
+  checks "spot-check bytes"
+    (Structure_io.to_string (Gen.cycle (3 + (77 mod 7))))
+    (print_of st2 "s077");
+  Store.close st2
+
+let test_store_corrupt_refusal () =
+  with_tmp_dir @@ fun dir ->
+  let st, _ = open_dir dir in
+  put_ok st "a" (Gen.cycle 5);
+  put_ok st "b" (Gen.cycle 6);
+  Store.close st;
+  (* Flip a byte in the FIRST record: mid-file damage, not a tear. *)
+  let jpath = Filename.concat dir "journal.fmtk" in
+  let data = In_channel.with_open_bin jpath In_channel.input_all in
+  let b = Bytes.of_string data in
+  Bytes.set b 2 (Char.chr (Char.code (Bytes.get b 2) lxor 0xff));
+  write_file jpath (Bytes.to_string b);
+  match Store.open_durable ~dir () with
+  | Ok _ -> Alcotest.fail "corrupt journal accepted"
+  | Error e ->
+      checkb "refusal names the corruption" true
+        (let has sub =
+           let n = String.length sub and m = String.length e in
+           let rec go i = i + n <= m && (String.sub e i n = sub || go (i + 1)) in
+           go 0
+         in
+         has "corrupt" && has "byte")
 
 (* ---------- query cache ---------- *)
 
@@ -483,6 +897,313 @@ let test_pooled_workers_drain_and_park () =
   checkb "second server went through the pool" true
     (Pool.dispatched pool >= dispatched_before + 2)
 
+let test_drop_end_to_end () =
+  with_server ~preload:[ ("c6", "cycle:6") ] @@ fun _srv port ->
+  let c = Client.connect port in
+  let r = Client.request c {|{"op":"drop","id":1,"name":"c6"}|} in
+  checks "drop acked" "ok" (status r);
+  (match field "result" r with
+  | Some (Json.Obj fields) ->
+      checkb "drop result" true
+        (List.assoc_opt "dropped" fields = Some (Json.Bool true))
+  | _ -> Alcotest.fail "drop result shape");
+  let r =
+    Client.request c {|{"op":"eval","id":2,"structure":"c6","formula":"E(x,y)"}|}
+  in
+  checks "dropped structure unknown" "unknown-structure"
+    (match code r with Some cd -> cd | None -> "<none>");
+  let r = Client.request c {|{"op":"drop","id":3,"name":"c6"}|} in
+  checks "double drop" "unknown-structure"
+    (match code r with Some cd -> cd | None -> "<none>");
+  (* Reloading the name must not serve stale compiled queries: the
+     cache is invalidated on drop, so the count tracks the new value. *)
+  ignore (Client.request c {|{"op":"load","id":4,"name":"c6","spec":"cycle:7"}|});
+  let r =
+    Client.request c {|{"op":"eval","id":5,"structure":"c6","formula":"E(x,y)"}|}
+  in
+  (match field "result" r with
+  | Some (Json.Obj fields) ->
+      checkb "fresh structure served" true
+        (List.assoc_opt "count" fields = Some (Json.Num 7.))
+  | _ -> Alcotest.fail "post-reload eval shape");
+  Client.close c
+
+let test_durable_server_restart () =
+  with_tmp_dir @@ fun dir ->
+  let configure c = { c with Server.data_dir = Some dir } in
+  with_server ~configure (fun _srv port ->
+      let c = Client.connect port in
+      checks "load 1" "ok"
+        (status
+           (Client.request c {|{"op":"load","id":1,"name":"keep","spec":"cycle:6"}|}));
+      checks "load 2" "ok"
+        (status
+           (Client.request c {|{"op":"load","id":2,"name":"gone","spec":"cycle:7"}|}));
+      checks "drop" "ok"
+        (status (Client.request c {|{"op":"drop","id":3,"name":"gone"}|}));
+      Client.close c);
+  (* Same data dir, new server lifecycle: recovery happens in create,
+     before the socket binds. *)
+  with_server ~configure (fun srv port ->
+      let c = Client.connect port in
+      let r = Client.request c {|{"op":"list","id":1}|} in
+      (match field "result" r with
+      | Some (Json.Obj fields) -> (
+          match List.assoc_opt "structures" fields with
+          | Some (Json.List [ Json.Obj entry ]) ->
+              checkb "recovered name" true
+                (List.assoc_opt "name" entry = Some (Json.Str "keep"))
+          | _ -> Alcotest.fail "expected exactly the surviving structure")
+      | _ -> Alcotest.fail "list shape");
+      let s = Server.stats srv in
+      (match s.Server.durability with
+      | None -> Alcotest.fail "durable server without durability stats"
+      | Some d ->
+          checki "replayed the journal" 3 d.Store.recovered.Store.journal_records;
+          checkb "stats name the dir" true (d.Store.data_dir = dir));
+      (* The stats op surfaces the same numbers on the wire. *)
+      let r = Client.request c {|{"op":"stats","id":2}|} in
+      (match field "result" r with
+      | Some (Json.Obj fields) ->
+          checkb "wire stats carry recovery" true
+            (List.assoc_opt "recovered_journal" fields = Some (Json.Num 3.))
+      | _ -> Alcotest.fail "stats shape");
+      Client.close c)
+
+(* ---------- the kill -9 crash harness ---------- *)
+
+(* Black-box torture: a real [fmtk serve --data-dir] process, a client
+   hammering acknowledged loads/drops, SIGKILL at a random point (often
+   with a request in flight), restart, verify. The invariants checked
+   each cycle, accumulated across all cycles:
+
+   - recovery never refuses (a kill can only tear the journal tail);
+   - every acknowledged mutation survives, with the structure's
+     canonical print byte-identical to what was loaded;
+   - nothing else is visible: a name the harness never acked is either
+     absent or holds exactly the value of the one in-flight request —
+     a torn partial write must never surface as data.
+
+   FMTK_CRASH_CYCLES picks the cycle count (default 5; CI runs 50). *)
+
+let crash_cycles () =
+  match Option.bind (Sys.getenv_opt "FMTK_CRASH_CYCLES") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 5
+
+let cli_exe () =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/fmtk_cli.exe"
+
+let spawn_server ~sock ~dir =
+  let exe = cli_exe () in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe
+      [|
+        exe; "serve"; "--socket"; sock; "--data-dir"; dir; "--sync"; "always";
+        "--workers"; "1"; "--quiet";
+      |]
+      null null Unix.stderr
+  in
+  Unix.close null;
+  pid
+
+let connect_unix sock =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () ->
+        {
+          Client.fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "server did not come up"
+        else begin
+          Thread.delay 0.02;
+          go ()
+        end
+  in
+  go ()
+
+let send_no_wait c line =
+  output_string c.Client.oc line;
+  output_char c.Client.oc '\n';
+  flush c.Client.oc
+
+let test_crash_harness () =
+  with_tmp_dir @@ fun root ->
+  let dir = Filename.concat root "data" in
+  let sock = Filename.concat root "s.sock" in
+  let rng = Random.State.make [| 0xD1CE; crash_cycles () |] in
+  (* Ground truth. [exact]: names whose mutation was acked — value is
+     the canonical print the recovered structure must match. [absent]:
+     names whose drop was acked. [limbo]: the at-most-one in-flight
+     mutation at kill time — (allowed print if present, old print if
+     the mutation was a drop that may not have landed). *)
+  let exact : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let absent : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let limbo = ref None in
+  let gen_structure () =
+    match Random.State.int rng 3 with
+    | 0 -> Gen.cycle (3 + Random.State.int rng 40)
+    | 1 -> Gen.random_graph ~rng (2 + Random.State.int rng 20) 0.3
+    | _ -> Gen.linear_order (2 + Random.State.int rng 10)
+  in
+  let load_line name s =
+    Json.to_string
+      (Json.Obj
+         [
+           ("op", Json.Str "load");
+           ("name", Json.Str name);
+           ("text", Json.Str (Structure_io.to_string s));
+         ])
+  in
+  let drop_line name =
+    Json.to_string (Json.Obj [ ("op", Json.Str "drop"); ("name", Json.Str name) ])
+  in
+  let random_acked () =
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) exact [] in
+    match keys with
+    | [] -> None
+    | ks -> Some (List.nth ks (Random.State.int rng (List.length ks)))
+  in
+  let cycles = crash_cycles () in
+  for cycle = 1 to cycles do
+    let pid = spawn_server ~sock ~dir in
+    let c = connect_unix sock in
+    (* The restarted server must already serve every exact name. *)
+    let list_resp = Client.request c {|{"op":"list"}|} in
+    let served =
+      match field "result" list_resp with
+      | Some (Json.Obj fields) -> (
+          match List.assoc_opt "structures" fields with
+          | Some (Json.List l) ->
+              List.filter_map
+                (function
+                  | Json.Obj e -> (
+                      match List.assoc_opt "name" e with
+                      | Some (Json.Str n) -> Some n
+                      | _ -> None)
+                  | _ -> None)
+                l
+          | _ -> [])
+      | _ -> []
+    in
+    Hashtbl.iter
+      (fun name _ ->
+        if not (List.mem name served) then
+          Alcotest.failf "cycle %d: acked %s missing from restarted server"
+            cycle name)
+      exact;
+    (* Burst of acked mutations, then SIGKILL — half the time with one
+       request still in flight. *)
+    let burst = 3 + Random.State.int rng 5 in
+    for i = 1 to burst do
+      let is_drop = Random.State.float rng 1.0 < 0.25 in
+      match (is_drop, random_acked ()) with
+      | true, Some name ->
+          let r = Client.request c (drop_line name) in
+          if status r = "ok" then begin
+            Hashtbl.remove exact name;
+            Hashtbl.replace absent name ()
+          end
+          else Alcotest.failf "cycle %d: drop %s failed: %s" cycle name r
+      | _ ->
+          let name = Printf.sprintf "s%d_%d" cycle i in
+          let s = gen_structure () in
+          let r = Client.request c (load_line name s) in
+          if status r = "ok" then begin
+            Hashtbl.replace exact name (Structure_io.to_string s);
+            Hashtbl.remove absent name
+          end
+          else Alcotest.failf "cycle %d: load %s failed: %s" cycle name r
+    done;
+    (if Random.State.bool rng then
+       (* Kill with a mutation in flight: acked-or-invisible is the
+          contract under test. *)
+       match (Random.State.float rng 1.0 < 0.3, random_acked ()) with
+       | true, Some name ->
+           let old = Hashtbl.find exact name in
+           send_no_wait c (drop_line name);
+           limbo := Some (name, `Dropped old)
+       | _ ->
+           let name = Printf.sprintf "s%d_limbo" cycle in
+           let s = gen_structure () in
+           send_no_wait c (load_line name s);
+           limbo := Some (name, `Loaded (Structure_io.to_string s)));
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    Client.close c;
+    (* In-process verification against the raw data dir: recovery must
+       succeed and reconstruct exactly the acked state (mod limbo). *)
+    let st =
+      match Store.open_durable ~dir () with
+      | Ok (st, _) -> st
+      | Error e -> Alcotest.failf "cycle %d: recovery refused: %s" cycle e
+    in
+    let limbo_name = match !limbo with Some (l, _) -> Some l | None -> None in
+    Hashtbl.iter
+      (fun name expected ->
+        (* The limbo name's fate is resolved separately below — an
+           in-flight drop of an acked name may legitimately have
+           landed. *)
+        if Some name <> limbo_name then
+          match Store.get st name with
+          | None -> Alcotest.failf "cycle %d: acked %s lost" cycle name
+          | Some s ->
+              if Structure_io.to_string s <> expected then
+                Alcotest.failf "cycle %d: acked %s recovered differently" cycle
+                  name)
+      exact;
+    Hashtbl.iter
+      (fun name () ->
+        match !limbo with
+        | Some (lname, _) when lname = name -> ()
+        | _ ->
+            if Store.get st name <> None then
+              Alcotest.failf "cycle %d: acked drop of %s resurfaced" cycle name)
+      absent;
+    (* Anything else visible must be the single in-flight mutation,
+       recovered whole — and its observed state becomes ground truth. *)
+    List.iter
+      (fun (name, _) ->
+        let in_limbo =
+          match !limbo with Some (l, _) -> l = name | None -> false
+        in
+        if
+          (not (Hashtbl.mem exact name))
+          && not in_limbo
+        then Alcotest.failf "cycle %d: unacked name %s surfaced" cycle name)
+      (Store.names st);
+    (match !limbo with
+    | None -> ()
+    | Some (name, `Loaded expected) -> (
+        match Store.get st name with
+        | None -> () (* the in-flight load never landed — fine *)
+        | Some s ->
+            if Structure_io.to_string s <> expected then
+              Alcotest.failf "cycle %d: in-flight %s surfaced torn" cycle name
+            else Hashtbl.replace exact name expected)
+    | Some (name, `Dropped old) -> (
+        match Store.get st name with
+        | None ->
+            (* the in-flight drop landed *)
+            Hashtbl.remove exact name;
+            Hashtbl.replace absent name ()
+        | Some s ->
+            if Structure_io.to_string s <> old then
+              Alcotest.failf "cycle %d: half-dropped %s mangled" cycle name
+            else Hashtbl.replace exact name old));
+    limbo := None;
+    Store.close st
+  done;
+  checkb "harness accumulated state" true (Hashtbl.length exact > 0)
+
 let () =
   Alcotest.run "fmtk_server"
     [
@@ -493,10 +1214,34 @@ let () =
         ] );
       ("protocol", [ Alcotest.test_case "parse" `Quick test_protocol_parse ]);
       ("store", [ Alcotest.test_case "bounds" `Quick test_store ]);
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "structure forms" `Quick
+            test_journal_structure_forms;
+          Alcotest.test_case "truncation corpus" `Quick
+            test_journal_truncation_corpus;
+          Alcotest.test_case "flipped-byte corpus" `Quick
+            test_journal_flip_corpus;
+          QCheck_alcotest.to_alcotest prop_journal_records_roundtrip;
+          QCheck_alcotest.to_alcotest prop_journal_structures_roundtrip;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "recovery" `Quick test_store_recovery;
+          Alcotest.test_case "torn write" `Quick test_store_torn_write;
+          Alcotest.test_case "crash points" `Quick test_store_crash_points;
+          Alcotest.test_case "compaction" `Quick test_store_compaction;
+          Alcotest.test_case "corrupt refusal" `Quick
+            test_store_corrupt_refusal;
+        ] );
       ("qcache", [ Alcotest.test_case "tiers" `Quick test_qcache ]);
       ( "serve",
         [
           Alcotest.test_case "end-to-end" `Quick test_end_to_end;
+          Alcotest.test_case "drop" `Quick test_drop_end_to_end;
+          Alcotest.test_case "durable restart" `Quick
+            test_durable_server_restart;
           Alcotest.test_case "oversized line" `Quick test_oversized_line;
           Alcotest.test_case "admission shedding" `Quick test_admission_shedding;
           Alcotest.test_case "fault injection" `Quick test_fault_injection_no_crash;
@@ -504,4 +1249,6 @@ let () =
           Alcotest.test_case "pooled workers drain and park" `Quick
             test_pooled_workers_drain_and_park;
         ] );
+      ( "crash",
+        [ Alcotest.test_case "kill -9 recovery" `Quick test_crash_harness ] );
     ]
