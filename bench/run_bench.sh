@@ -14,6 +14,9 @@
 #   E29 -> BENCH_durability.json (journal overhead on the serve mix:
 #                             memory vs interval vs always fsync, plus
 #                             journal-replay and snapshot-load recovery)
+#   E30 -> BENCH_planner.json (naive interpreter vs cost-based physical
+#                             plans on multi-join queries, plus delta
+#                             maintenance vs full re-evaluation)
 # --games-only skips the E23/E25 re-timing and refreshes only the game
 # trails (BENCH_games.json + BENCH_engine.json). Extra arguments are
 # passed through to bench/main.exe; notably `--workers N` caps the
@@ -54,6 +57,10 @@ if [ "$games_only" = false ]; then
 fi
 if [ "$games_only" = false ]; then
   dune exec bench/main.exe -- --only E29 --json BENCH_durability.json \
+    --deadline "$FMTK_BENCH_DEADLINE" $passthrough
+fi
+if [ "$games_only" = false ]; then
+  dune exec bench/main.exe -- --only E30 --json BENCH_planner.json \
     --deadline "$FMTK_BENCH_DEADLINE" $passthrough
 fi
 dune exec bench/main.exe -- --only E24 --json BENCH_games.json \

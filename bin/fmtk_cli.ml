@@ -19,6 +19,9 @@ module Gen = Fmtk_structure.Gen
 module Graph = Fmtk_structure.Graph
 module Eval = Fmtk_eval.Eval
 module Compile = Fmtk_db.Compile
+module Algebra = Fmtk_db.Algebra
+module Planner = Fmtk_db.Planner
+module Physical = Fmtk_db.Physical
 module Ef = Fmtk_games.Ef
 module Pebble = Fmtk_games.Pebble
 module Counting_game = Fmtk_games.Counting_game
@@ -159,30 +162,78 @@ let budget_term =
 (* ---- eval ---- *)
 
 let eval_cmd =
-  let run s phi use_ra =
+  let run s phi use_ra any explain budget =
     exec @@ fun () ->
     let fv = Formula.free_vars phi in
-    (if fv = [] then
-       let v = if use_ra then Compile.sat s phi else Eval.sat s phi in
-       Format.printf "%b@." v
-     else begin
-       let vars, answers =
-         if use_ra then Compile.answers s phi else Eval.answers s phi
-       in
-       Format.printf "answers over (%s):@." (String.concat "," vars);
-       Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) answers
-     end);
-    Ok ()
+    if explain then begin
+      (* print the three plan stages without evaluating *)
+      let db = Algebra.Database.of_structure s in
+      let e = Algebra.Project (fv, Compile.compile phi) in
+      match Planner.explain db e with
+      | Error m -> Error (`Msg m)
+      | Ok ex ->
+          Format.printf "logical:@.  %a@." Algebra.pp ex.Planner.logical;
+          Format.printf "optimized:@.  %a@." Algebra.pp ex.Planner.optimized;
+          Format.printf "physical:@.%a@." Physical.pp ex.Planner.physical;
+          Ok ()
+    end
+    else if fv = [] then
+      let v =
+        if use_ra then
+          if any then Compile.sat_any ~budget s phi
+          else Compile.sat ~budget s phi
+        else Ok (Eval.sat s phi)
+      in
+      match v with
+      | Error (`Msg _) as e -> e
+      | Ok v ->
+          Format.printf "%b@." v;
+          Ok ()
+    else
+      let v =
+        if use_ra then
+          if any then Compile.answers_any ~budget s phi
+          else Compile.answers ~budget s phi
+        else Ok (Eval.answers s phi)
+      in
+      match v with
+      | Error (`Msg _) as e -> e
+      | Ok (vars, answers) ->
+          Format.printf "answers over (%s):@." (String.concat "," vars);
+          Tuple.Set.iter (fun t -> Format.printf "%a@." Tuple.pp t) answers;
+          Ok ()
   in
   let ra =
-    Arg.(value & flag & info [ "ra" ] ~doc:"Evaluate through the relational-algebra compiler.")
+    Arg.(
+      value & flag
+      & info [ "ra" ]
+          ~doc:
+            "Evaluate through the relational-algebra planner (cost-based \
+             logical/physical plans). Refuses non-safe-range queries unless \
+             $(b,--any) is given.")
+  in
+  let any =
+    Arg.(
+      value & flag
+      & info [ "any" ]
+          ~doc:
+            "With $(b,--ra): skip the safe-range gate and evaluate under \
+             active-domain-padded semantics.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the logical, optimized and physical plans instead of \
+             evaluating.")
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate an FO formula on a structure")
     Term.(
       const run
       $ structure_arg ~name:"STRUCTURE" ~doc:"Structure (file or generator spec)." 0
-      $ formula_arg 1 $ ra)
+      $ formula_arg 1 $ ra $ any $ explain $ budget_term)
 
 (* ---- game ---- *)
 

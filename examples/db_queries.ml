@@ -31,6 +31,13 @@ let show_answers name (vars, answers) =
   Format.printf "%s  (%s):@." name (String.concat "," vars);
   Tuple.Set.iter (fun t -> Format.printf "  %a@." Tuple.pp t) answers
 
+(* "non-managers" is not safe-range (bare negation), so it goes through
+   the adom-padded variant; the others would pass the safe-range gate. *)
+let answers_exn s phi =
+  match Compile.answers_any s phi with
+  | Ok r -> r
+  | Error (`Msg m) -> failwith m
+
 let () =
   header "The database";
   Format.printf "%a@." Structure.pp company;
@@ -47,13 +54,13 @@ let () =
   List.iter
     (fun (name, q) ->
       let phi = Parser.parse_exn q in
-      show_answers name (Compile.answers company phi);
+      show_answers name (answers_exn company phi);
       (* The compiler and the direct evaluator implement the same
          semantics: *)
       let fv = Fmtk_logic.Formula.free_vars phi in
       assert (
         Tuple.Set.equal
-          (snd (Compile.answers company phi))
+          (snd (answers_exn company phi))
           (Eval.definable_relation company phi ~vars:fv)))
     queries;
 

@@ -36,7 +36,14 @@ let graph_of_answers ord answers =
     [ ("E", Tuple.Set.elements answers) ]
 
 let apply_formula phi ord =
-  let vars, answers = Compile.answers ord phi in
+  (* The construction formulas use negation-only guards (last/first), so
+     they are not safe-range; they are still domain-independent by
+     construction over linear orders — evaluate under adom semantics. *)
+  let vars, answers =
+    match Compile.answers_any ord phi with
+    | Ok r -> r
+    | Error (`Msg m) -> invalid_arg ("Reductions.apply_formula: " ^ m)
+  in
   (* Free variables of both constructions are x then y. *)
   assert (vars = [ "x"; "y" ]);
   graph_of_answers ord answers

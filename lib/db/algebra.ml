@@ -19,19 +19,37 @@ type expr =
   | Union of expr * expr
   | Diff of expr * expr
 
+exception Schema_error of string
+
 module Database = struct
   module SMap = Map.Make (String)
 
-  type t = Relation.t SMap.t
+  (* Relations are lazy so a plan that drops a padding join (or never scans
+     a relation) never pays to materialize it — significant for
+     structure-backed instances where "adom" is the whole domain. *)
+  type t = { rels : Relation.t Lazy.t SMap.t; source : Structure.t option }
 
   let make bindings =
-    List.fold_left (fun acc (n, r) -> SMap.add n r acc) SMap.empty bindings
+    let rels =
+      List.fold_left
+        (fun acc (n, r) -> SMap.add n (Lazy.from_val r) acc)
+        SMap.empty bindings
+    in
+    { rels; source = None }
+
+  let find_exn db name =
+    match SMap.find_opt name db.rels with
+    | Some r -> Lazy.force r
+    | None -> raise (Schema_error (Printf.sprintf "no relation %S" name))
 
   let find db name =
-    match SMap.find_opt name db with
-    | Some r -> r
-    | None -> invalid_arg (Printf.sprintf "Database: no relation %S" name)
+    match SMap.find_opt name db.rels with
+    | Some r -> Ok (Lazy.force r)
+    | None -> Error (Printf.sprintf "no relation %S" name)
 
+  let mem db name = SMap.mem name db.rels
+  let names db = List.map fst (SMap.bindings db.rels)
+  let source db = db.source
   let positional k = List.init k (fun i -> Printf.sprintf "#%d" (i + 1))
 
   let of_structure s =
@@ -39,20 +57,30 @@ module Database = struct
     let rels =
       List.map
         (fun (name, k) ->
-          (name, Relation.of_set (positional k) (Structure.rel s name)))
+          ( name,
+            lazy (Relation.of_set (positional k) (Structure.rel s name)) ))
         (Signature.rels sg)
     in
     let adom =
       ( "adom",
-        Relation.make [ "#1" ]
-          (List.map (fun e -> [| e |]) (Structure.domain s)) )
+        lazy
+          (Relation.make [ "#1" ]
+             (List.map (fun e -> [| e |]) (Structure.domain s))) )
     in
     let consts =
       List.map
-        (fun c -> ("@" ^ c, Relation.make [ "#1" ] [ [| Structure.const s c |] ]))
+        (fun c ->
+          ( "@" ^ c,
+            lazy (Relation.make [ "#1" ] [ [| Structure.const s c |] ]) ))
         (Signature.consts sg)
     in
-    make ((adom :: rels) @ consts)
+    let rels =
+      List.fold_left
+        (fun acc (n, r) -> SMap.add n r acc)
+        SMap.empty
+        ((adom :: rels) @ consts)
+    in
+    { rels; source = Some s }
 end
 
 let rec eval_pred p lookup =
@@ -63,16 +91,22 @@ let rec eval_pred p lookup =
   | And_p (q, r) -> eval_pred q lookup && eval_pred r lookup
   | Or_p (q, r) -> eval_pred q lookup || eval_pred r lookup
 
-let rec eval db expr =
+let rec eval_exn db expr =
   match expr with
-  | Base name -> Database.find db name
+  | Base name -> Database.find_exn db name
   | Lit r -> r
-  | Select (p, e) -> Relation.select (fun lk -> eval_pred p lk) (eval db e)
-  | Project (names, e) -> Relation.project names (eval db e)
-  | Rename (mapping, e) -> Relation.rename mapping (eval db e)
-  | Join (a, b) -> Relation.join (eval db a) (eval db b)
-  | Union (a, b) -> Relation.union (eval db a) (eval db b)
-  | Diff (a, b) -> Relation.diff (eval db a) (eval db b)
+  | Select (p, e) -> Relation.select (fun lk -> eval_pred p lk) (eval_exn db e)
+  | Project (names, e) -> Relation.project names (eval_exn db e)
+  | Rename (mapping, e) -> Relation.rename mapping (eval_exn db e)
+  | Join (a, b) -> Relation.join (eval_exn db a) (eval_exn db b)
+  | Union (a, b) -> Relation.union (eval_exn db a) (eval_exn db b)
+  | Diff (a, b) -> Relation.diff (eval_exn db a) (eval_exn db b)
+
+let eval db expr =
+  match eval_exn db expr with
+  | r -> Ok r
+  | exception Schema_error m -> Error m
+  | exception Invalid_argument m -> Error m
 
 let rec size = function
   | Base _ | Lit _ -> 1

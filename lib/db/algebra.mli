@@ -3,7 +3,12 @@
     A database instance maps relation names to {!Relation.t}; the instance
     obtained from a structure also contains the unary relation ["adom"]
     holding the whole domain (so compiled FO queries agree with natural
-    semantics) and one singleton relation ["@c"] per constant [c]. *)
+    semantics) and one singleton relation ["@c"] per constant [c].
+
+    This module is the {e semantic source of truth}: {!eval} is a direct
+    structural recursion, deliberately naive. The fast path is
+    {!Planner.plan} + {!Physical.run}, which must agree with {!eval} on
+    every expression (checked by the differential planner suite). *)
 
 type pred =
   | Eq_attr of string * string
@@ -22,23 +27,45 @@ type expr =
   | Union of expr * expr
   | Diff of expr * expr
 
+(** Raised by the [_exn] entry points on unknown base relations. *)
+exception Schema_error of string
+
 module Database : sig
   type t
 
   val make : (string * Relation.t) list -> t
-  val find : t -> string -> Relation.t
+
+  (** Total lookup. *)
+  val find : t -> string -> (Relation.t, string) result
+
+  (** @raise Schema_error on unknown names. *)
+  val find_exn : t -> string -> Relation.t
+
+  val mem : t -> string -> bool
+  val names : t -> string list
 
   (** View a finite structure as a database instance: each relation [R/k]
       becomes a table with attributes [#1..#k], plus ["adom"] (attribute
-      [#1]) and per-constant singletons ["@c"]. *)
+      [#1]) and per-constant singletons ["@c"]. Relations materialize
+      lazily, on first access. *)
   val of_structure : Fmtk_structure.Structure.t -> t
+
+  (** The structure behind an {!of_structure} instance, if any — the
+      planner uses its indexes/CSR rows as access paths. *)
+  val source : t -> Fmtk_structure.Structure.t option
 end
 
-(** Evaluate an expression bottom-up.
-    @raise Invalid_argument on unknown base relations or schema errors. *)
-val eval : Database.t -> expr -> Relation.t
+(** Evaluate an expression bottom-up (naive reference semantics). Total:
+    unknown base relations and schema errors come back as [Error]. *)
+val eval : Database.t -> expr -> (Relation.t, string) result
+
+(** Like {!eval}.
+    @raise Schema_error on unknown base relations.
+    @raise Invalid_argument on schema errors. *)
+val eval_exn : Database.t -> expr -> Relation.t
 
 (** Number of operator nodes in the expression. *)
 val size : expr -> int
 
 val pp : Format.formatter -> expr -> unit
+val pp_pred : Format.formatter -> pred -> unit

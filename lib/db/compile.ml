@@ -18,12 +18,31 @@ let domain_nonempty = Project ([], Base "adom")
 (* Extends [e] (with attribute set [have]) to attribute set [want] by
    joining unconstrained adom columns. *)
 let extend e have want =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace seen x ()) have;
   List.fold_left
-    (fun acc x -> if List.mem x have then acc else Join (acc, adom_as x))
-    e
-    (List.filter (fun x -> not (List.mem x have)) want)
+    (fun acc x ->
+      if Hashtbl.mem seen x then acc
+      else begin
+        Hashtbl.add seen x ();
+        Join (acc, adom_as x)
+      end)
+    e want
 
 let positional i = Printf.sprintf "#%d" (i + 1)
+
+(* Order-preserving dedup in O(n) hashtable probes (the old List.mem fold
+   was quadratic on wide atoms). *)
+let dedup xs =
+  let seen = Hashtbl.create (2 * List.length xs + 1) in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
 
 let compile_atom r ts =
   (* Constrain constant positions by joining the singleton tables, then
@@ -56,7 +75,7 @@ let compile_atom r ts =
     List.filter_map
       (fun t -> match t with Term.Var x -> Some x | Term.Const _ -> None)
       ts
-    |> List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) []
+    |> dedup
   in
   let renames = List.map (fun x -> (Hashtbl.find first_pos x, x)) var_list in
   Project (var_list, Rename (renames, selected))
@@ -84,9 +103,7 @@ let rec compile_f f =
   | Formula.And (g, h) -> Join (compile_f g, compile_f h)
   | Formula.Or (g, h) ->
       let fvg = Formula.free_vars g and fvh = Formula.free_vars h in
-      let all =
-        fvg @ List.filter (fun x -> not (List.mem x fvg)) fvh
-      in
+      let all = dedup (fvg @ fvh) in
       Union (extend (compile_f g) fvg all, extend (compile_f h) fvh all)
   | Formula.Implies (g, h) -> compile_f (Formula.Or (Formula.Not g, h))
   | Formula.Iff (g, h) ->
@@ -101,23 +118,6 @@ let rec compile_f f =
       compile_f (Formula.Not (Formula.Exists (x, Formula.Not g)))
 
 let compile f = compile_f f
-
-let answers s f =
-  let db = Database.of_structure s in
-  let rel = Algebra.eval db (compile f) in
-  let fv = Formula.free_vars f in
-  let rel = Relation.project fv rel in
-  (fv, Relation.tuples rel)
-
-let sat s f =
-  (match Formula.free_vars f with
-  | [] -> ()
-  | fv ->
-      invalid_arg
-        (Printf.sprintf "Compile.sat: not a sentence (free: %s)"
-           (String.concat ", " fv)));
-  let db = Database.of_structure s in
-  Relation.cardinality (Algebra.eval db (compile f)) > 0
 
 (* ---- Safe-range analysis (Abiteboul–Hull–Vianu, ch. 5) ---- *)
 
@@ -176,3 +176,52 @@ let safe_range f =
   match rr g with
   | r -> SSet.equal r (SSet.of_list (Formula.free_vars g))
   | exception Unsafe -> false
+
+(* ---- evaluation entry points ---- *)
+
+(* Planner-backed evaluation with adom-padded (natural) semantics. *)
+let answers_any ?budget s f =
+  let db = Database.of_structure s in
+  let fv = Formula.free_vars f in
+  let e = Algebra.Project (fv, compile f) in
+  match Planner.plan db e with
+  | Error m -> Error (`Msg m)
+  | Ok p -> (
+      match Physical.run ?budget db p with
+      | Error m -> Error (`Msg m)
+      | Ok rel -> Ok (fv, Relation.tuples rel))
+
+let sat_any ?budget s f =
+  match Formula.free_vars f with
+  | _ :: _ as fv ->
+      Error
+        (`Msg
+           (Printf.sprintf "not a sentence (free: %s)" (String.concat ", " fv)))
+  | [] -> (
+      match answers_any ?budget s f with
+      | Error (`Msg m) -> Error (`Msg m)
+      | Ok (_, tuples) -> Ok (not (Fmtk_structure.Tuple.Set.is_empty tuples)))
+
+let unsafe_msg f =
+  `Msg
+    (Format.asprintf
+       "query is not safe-range (answers may depend on the domain beyond \
+        the active domain): %a"
+       Formula.pp f)
+
+let answers ?budget s f =
+  if not (safe_range f) then Error (unsafe_msg f)
+  else answers_any ?budget s f
+
+let sat ?budget s f =
+  if not (safe_range f) then Error (unsafe_msg f) else sat_any ?budget s f
+
+(* Naive reference path: structural recursion over list-of-tuples
+   relations — the oracle the planner is differentially tested against. *)
+let answers_naive s f =
+  let db = Database.of_structure s in
+  match Algebra.eval db (compile f) with
+  | Error m -> Error (`Msg m)
+  | Ok rel ->
+      let fv = Formula.free_vars f in
+      Ok (fv, Relation.tuples (Relation.project fv rel))

@@ -5,7 +5,13 @@
     database view of a structure. Because the instance's ["adom"] table
     holds the {e whole} domain, the compiled query agrees exactly with the
     natural (Tarski) semantics implemented by {!Fmtk_eval.Eval} — this is
-    cross-checked by tests and experiment E6. *)
+    cross-checked by tests and experiment E6.
+
+    Evaluation goes through the {!Planner}/{!Physical} pipeline. The
+    default entry points [answers]/[sat] additionally {e refuse} queries
+    that are not safe-range ({!safe_range}) — the textbook guarantee of
+    domain independence; the [_any] variants evaluate any formula under
+    the adom-padded semantics. *)
 
 module Formula = Fmtk_logic.Formula
 
@@ -16,16 +22,53 @@ module Formula = Fmtk_logic.Formula
     relations. *)
 val compile : Formula.t -> Algebra.expr
 
-(** [answers s f] evaluates the compiled query against [s]; returns the free
-    variables (in {!Formula.free_vars} order) and the answer tuples. *)
+(** [answers s f] plans and executes the compiled query against [s];
+    returns the free variables (in {!Formula.free_vars} order) and the
+    answer tuples. Refuses non-safe-range queries with [`Msg]. The ambient
+    budget governs execution ([Budget.Exhausted] escapes, never a wrong
+    answer). *)
 val answers :
+  ?budget:Fmtk_runtime.Budget.t ->
   Fmtk_structure.Structure.t ->
   Formula.t ->
-  string list * Fmtk_structure.Tuple.Set.t
+  ( string list * Fmtk_structure.Tuple.Set.t,
+    [> `Msg of string ] )
+  result
 
 (** [sat s f] for sentences: true iff the compiled nullary answer is
-    nonempty. *)
-val sat : Fmtk_structure.Structure.t -> Formula.t -> bool
+    nonempty. Refuses non-sentences and non-safe-range sentences. *)
+val sat :
+  ?budget:Fmtk_runtime.Budget.t ->
+  Fmtk_structure.Structure.t ->
+  Formula.t ->
+  (bool, [> `Msg of string ]) result
+
+(** Like {!answers} but without the safe-range gate: any formula, under
+    the active-domain-padded semantics (which agrees with Tarski semantics
+    because ["adom"] holds the whole domain). *)
+val answers_any :
+  ?budget:Fmtk_runtime.Budget.t ->
+  Fmtk_structure.Structure.t ->
+  Formula.t ->
+  ( string list * Fmtk_structure.Tuple.Set.t,
+    [> `Msg of string ] )
+  result
+
+(** Like {!sat} but without the safe-range gate. *)
+val sat_any :
+  ?budget:Fmtk_runtime.Budget.t ->
+  Fmtk_structure.Structure.t ->
+  Formula.t ->
+  (bool, [> `Msg of string ]) result
+
+(** Naive reference evaluation (structural recursion via {!Algebra.eval},
+    no planner): the oracle for the differential planner suite. *)
+val answers_naive :
+  Fmtk_structure.Structure.t ->
+  Formula.t ->
+  ( string list * Fmtk_structure.Tuple.Set.t,
+    [> `Msg of string ] )
+  result
 
 (** Textbook safe-range test (via safe-range normal form). Safe-range
     queries are exactly those whose answers are guaranteed independent of

@@ -1,0 +1,38 @@
+(** Incremental maintenance of materialized algebra queries
+    (counting-based delta evaluation).
+
+    [materialize] evaluates an expression bottom-up keeping derivation
+    counts at every node; [update] pushes a single-tuple base-relation
+    insert/delete through the tree, touching only the paths that mention
+    the updated relation — this is how [fmtk serve] answers repeated
+    queries against evolving structures without recomputation.
+
+    The active domain is treated as fixed: callers must only insert tuples
+    over existing domain elements (enforced by [Store.update]). Inserting
+    a tuple already present, or deleting one that is absent, is a no-op.
+    Maintained results agree exactly with {!Algebra.eval} re-evaluated
+    from scratch (checked by the differential planner suite). *)
+
+type t
+
+(** Build the maintained materialization of [e] (after
+    {!Planner.rewrite}) against [db]. Budget-governed: polls per
+    processed row, letting [Budget.Exhausted] escape. *)
+val materialize :
+  ?budget:Fmtk_runtime.Budget.t ->
+  Algebra.Database.t ->
+  Algebra.expr ->
+  (t, string) result
+
+(** Current result (support of the root's count table). *)
+val result : t -> Relation.t
+
+(** [update t ~rel tup ~add] applies a single-tuple insert ([add:true]) or
+    delete to base relation [rel] and propagates deltas. *)
+val update :
+  ?budget:Fmtk_runtime.Budget.t ->
+  t ->
+  rel:string ->
+  int array ->
+  add:bool ->
+  (unit, string) result

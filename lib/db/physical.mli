@@ -1,0 +1,66 @@
+(** Physical query plans and their executor.
+
+    A plan works on integer-slot tuples: every node carries its output
+    schema (slot index → attribute name) fixed at plan time, so execution
+    never looks up an attribute by name (mirroring [Fmtk_eval.Compiled]).
+    Operators: base-table scans with fused positional selections, literal
+    tables, slot filters/projections, hash joins, (anti-)semijoins, index
+    probes and index-nested-loop joins through
+    {!Fmtk_structure.Index} access paths, set union/difference, and
+    [Cached] sharing points so semijoin programs (Yannakakis) evaluate
+    shared subplans once.
+
+    Plans are produced by {!Planner.plan}; {!run} is governed by the
+    ambient {!Fmtk_runtime.Budget} (it raises [Budget.Exhausted] like every
+    other engine — never a wrong answer). *)
+
+module Tuple = Fmtk_structure.Tuple
+
+type spred =
+  | SEq of int * int  (** slot = slot *)
+  | SEqc of int * int  (** slot = constant *)
+  | SNot of spred
+  | SAnd of spred * spred
+  | SOr of spred * spred
+
+type pat = PSlot of int | PConst of int
+
+type node =
+  | Scan of {
+      rel : string;
+      eqs : (int * int) list;
+      consts : (int * int) list;
+      out : int array;
+    }
+  | Table of { rel : Relation.t; out : int array }
+  | Filter of spred * t
+  | Proj of int array * t
+  | HashJoin of {
+      l : t;
+      r : t;
+      lkey : int array;
+      rkey : int array;
+      rext : int array;
+    }
+  | SemiJoin of { l : t; r : t; lkey : int array; rkey : int array; anti : bool }
+  | IdxProbe of { l : t; rel : string; pat : pat array; anti : bool }
+  | IdxLoop of { l : t; rel : string; lslot : int }
+  | Union_p of { l : t; r : t; rmap : int array }
+  | Diff_p of { l : t; r : t; rmap : int array }
+  | Cached of { id : int; p : t }
+
+and t = { node : node; schema : string array; est : float }
+
+val eval_spred : spred -> int array -> bool
+
+(** Execute a plan bottom-up, materializing each node. Budget-governed:
+    polls [budget] per processed row and lets [Budget.Exhausted] escape.
+    [Error] only on schema-level failures (unknown relation). *)
+val run :
+  ?budget:Fmtk_runtime.Budget.t ->
+  Algebra.Database.t ->
+  t ->
+  (Relation.t, string) result
+
+val pp : Format.formatter -> t -> unit
+val pp_spred : Format.formatter -> spred -> unit

@@ -1,0 +1,116 @@
+module Formula = Fmtk_logic.Formula
+module Structure = Fmtk_structure.Structure
+module Algebra = Fmtk_db.Algebra
+module Compile = Fmtk_db.Compile
+module Delta = Fmtk_db.Delta
+module Relation = Fmtk_db.Relation
+
+type entry = {
+  delta : Delta.t;
+  vars : string list;
+  entry_lock : Mutex.t;
+  mutable bound_to : Structure.t;
+      (* physical identity of the structure value the maintained counts
+         currently describe; [apply_update] advances it in lockstep with
+         the store's read-modify-write *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string * string, entry) Hashtbl.t; (* (store name, formula text) *)
+  capacity : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  maintained : int Atomic.t; (* delta propagations applied *)
+}
+
+let create ?(capacity = 128) () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 32;
+    capacity = max 1 capacity;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    maintained = Atomic.make 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Answer [phi] on [s] from the maintained materialization, building it
+   on a miss (or when [sname] was re-bound wholesale by a load since the
+   entry was cached — identity mismatch means the counts describe a
+   stale value and delta maintenance lost the thread, so rebuild). *)
+let with_result ?budget t ~sname s text phi f =
+  let key = (sname, text) in
+  let cached =
+    match locked t (fun () -> Hashtbl.find_opt t.table key) with
+    | Some e when e.bound_to == s ->
+        Atomic.incr t.hits;
+        Some e
+    | _ -> None
+  in
+  match cached with
+  | Some e ->
+      Mutex.lock e.entry_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock e.entry_lock)
+        (fun () -> Ok (f e.vars (Delta.result e.delta)))
+  | None -> (
+      Atomic.incr t.misses;
+      let vars = Formula.free_vars phi in
+      let e = Algebra.Project (vars, Compile.compile phi) in
+      let db = Algebra.Database.of_structure s in
+      match Delta.materialize ?budget db e with
+      | Error m -> Error m
+      | Ok delta ->
+          let entry =
+            { delta; vars; entry_lock = Mutex.create (); bound_to = s }
+          in
+          locked t (fun () ->
+              if Hashtbl.length t.table >= t.capacity then
+                Hashtbl.reset t.table;
+              Hashtbl.replace t.table key entry);
+          Ok (f vars (Delta.result delta)))
+
+(* Push a store update through every maintained plan over [sname] and
+   re-bind them to the new structure value. An entry whose propagation
+   fails (budget exhaustion mid-delta leaves its counts torn) is dropped:
+   the next eval rebuilds it from scratch — stale answers are never
+   served. *)
+let apply_update ?budget t ~sname s' ~rel tup ~add =
+  let entries =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun ((n, _) as k) e acc -> if n = sname then (k, e) :: acc else acc)
+          t.table [])
+  in
+  List.iter
+    (fun (key, e) ->
+      Mutex.lock e.entry_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock e.entry_lock)
+        (fun () ->
+          match Delta.update ?budget e.delta ~rel tup ~add with
+          | Ok () ->
+              e.bound_to <- s';
+              Atomic.incr t.maintained
+          | Error _ | (exception Fmtk_runtime.Budget.Exhausted _) ->
+              locked t (fun () -> Hashtbl.remove t.table key)))
+    entries
+
+let invalidate t ~sname =
+  locked t (fun () ->
+      let stale =
+        Hashtbl.fold
+          (fun ((n, _) as k) _ acc -> if n = sname then k :: acc else acc)
+          t.table []
+      in
+      List.iter (Hashtbl.remove t.table) stale)
+
+let hits t = Atomic.get t.hits
+
+let misses t = Atomic.get t.misses
+
+let maintained t = Atomic.get t.maintained

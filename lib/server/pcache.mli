@@ -1,0 +1,60 @@
+(** Maintained-plan cache: the RA-engine sibling of {!Qcache}.
+
+    Where {!Qcache} caches compiled tree-walking evaluators and
+    invalidates on any mutation, this cache holds {!Fmtk_db.Delta}
+    materializations — full query answers with derivation counts — keyed
+    by (store name, formula text). A single-tuple [update] op is pushed
+    through every cached plan by delta propagation
+    ({!Fmtk_db.Delta.update}) instead of invalidating, so repeated
+    evaluation of the same query against an evolving structure costs
+    O(affected rows) per mutation rather than a re-evaluation.
+
+    Entries are bound to the {e physical identity} of the structure
+    value they describe. [load] re-binds a name to a fresh value, which
+    makes every entry under that name miss (and {!invalidate} frees them
+    eagerly); {!apply_update} advances the binding in lockstep with the
+    store's read-modify-write, which is what keeps a hit sound. *)
+
+module Formula := Fmtk_logic.Formula
+module Structure := Fmtk_structure.Structure
+module Relation := Fmtk_db.Relation
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** [with_result t ~sname s text phi f] answers [phi] from the
+    maintained materialization (building it on a miss, budget-governed),
+    applying [f vars answers] under the entry lock. [Error] on planner
+    or materialization failure. *)
+val with_result :
+  ?budget:Fmtk_runtime.Budget.t ->
+  t ->
+  sname:string ->
+  Structure.t ->
+  string ->
+  Formula.t ->
+  (string list -> Relation.t -> 'a) ->
+  ('a, string) result
+
+(** [apply_update t ~sname s' ~rel tup ~add] delta-maintains every plan
+    cached under [sname] and re-binds it to [s'] (the store's new value).
+    Entries whose propagation fails are dropped, never served stale. *)
+val apply_update :
+  ?budget:Fmtk_runtime.Budget.t ->
+  t ->
+  sname:string ->
+  Structure.t ->
+  rel:string ->
+  int array ->
+  add:bool ->
+  unit
+
+(** Drop all plans cached under [sname] (on [drop] and [load]). *)
+val invalidate : t -> sname:string -> unit
+
+val hits : t -> int
+val misses : t -> int
+
+(** Delta propagations applied (one per cached plan per update). *)
+val maintained : t -> int

@@ -6,7 +6,13 @@ type request =
   | Stats
   | Load of { name : string; spec : string option; text : string option }
   | Drop of { name : string }
-  | Eval of { structure : string; formula : string }
+  | Eval of { structure : string; formula : string; ra : bool }
+  | Update of {
+      structure : string;
+      rel : string;
+      tuple : int list;
+      add : bool;
+    }
   | Game of {
       left : string;
       right : string;
@@ -70,7 +76,37 @@ let parse_body json =
   | "eval" ->
       let* structure = string_field json "structure" in
       let* formula = string_field json "formula" in
-      Ok (Eval { structure; formula })
+      let ra =
+        match Option.bind (field json "ra") Json.get_bool with
+        | Some b -> b
+        | None -> false
+      in
+      Ok (Eval { structure; formula; ra })
+  | "update" ->
+      let* structure = string_field json "structure" in
+      let* rel = string_field json "rel" in
+      let* tuple =
+        match field json "tuple" with
+        | Some (Json.List vs) -> (
+            let ints = List.map Json.get_int vs in
+            if List.for_all Option.is_some ints then
+              Ok (List.map Option.get ints)
+            else Error "field \"tuple\" must be a list of integers")
+        | Some _ -> Error "field \"tuple\" must be a list of integers"
+        | None -> Error "missing field \"tuple\""
+      in
+      let* add =
+        match string_field json "action" with
+        | Ok "insert" -> Ok true
+        | Ok "delete" -> Ok false
+        | Ok other ->
+            Error
+              (Printf.sprintf
+                 "field \"action\" must be \"insert\" or \"delete\", got %S"
+                 other)
+        | Error e -> Error e
+      in
+      Ok (Update { structure; rel; tuple; add })
   | "game" ->
       let* left = string_field json "left" in
       let* right = string_field json "right" in
@@ -130,7 +166,7 @@ let parse_request line =
 
 let is_inline = function
   | Ping | List_structures | Stats -> true
-  | Load _ | Drop _ | Eval _ | Game _ | Decide _ -> false
+  | Load _ | Drop _ | Eval _ | Update _ | Game _ | Decide _ -> false
 
 (* ---- responses ---- *)
 

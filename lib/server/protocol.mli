@@ -9,9 +9,11 @@
     {v
       {"id":1,"op":"load","name":"c6","spec":"cycle:6"}
       {"id":2,"op":"eval","structure":"c6","formula":"forall x. exists y. E(x,y)"}
-      {"id":3,"op":"game","left":"c6","right":"c7","rounds":3}
-      {"id":4,"op":"decide","left":"c6","right":"c7","rank":3,"timeout":0.5}
-      {"id":5,"op":"drop","name":"c6"}
+      {"id":3,"op":"eval","structure":"c6","formula":"E(x,y)","ra":true}
+      {"id":4,"op":"update","structure":"c6","rel":"E","tuple":[0,3],"action":"insert"}
+      {"id":5,"op":"game","left":"c6","right":"c7","rounds":3}
+      {"id":6,"op":"decide","left":"c6","right":"c7","rank":3,"timeout":0.5}
+      {"id":7,"op":"drop","name":"c6"}
       {"op":"ping"}   {"op":"list"}   {"op":"stats"}
     v}
 
@@ -23,9 +25,10 @@
       [retry_after_ms];
     - ["error"] — no answer; [code] is machine-readable
       ([bad-json], [bad-request], [unknown-structure], [parse-error],
-      [deadline-over-limit], [too-expensive], [oversized], [gave-up],
-      [worker-crash], [store-full], [too-large], [io-error],
-      [idle-timeout], [shutting-down]), [error] is human-readable.
+      [plan-error], [bad-update], [deadline-over-limit], [too-expensive],
+      [oversized], [gave-up], [worker-crash], [store-full], [too-large],
+      [io-error], [idle-timeout], [shutting-down]), [error] is
+      human-readable.
 
     The [load] / [drop] mutations are acknowledged only after the
     mutation is journaled per the server's durability configuration
@@ -41,7 +44,19 @@ type request =
   | Stats
   | Load of { name : string; spec : string option; text : string option }
   | Drop of { name : string }
-  | Eval of { structure : string; formula : string }
+  | Eval of { structure : string; formula : string; ra : bool }
+      (** [ra] selects the relational-algebra engine (planned physical
+          execution, answers maintained incrementally across [update]s)
+          instead of the compiled tree-walking evaluator. *)
+  | Update of {
+      structure : string;
+      rel : string;
+      tuple : int list;
+      add : bool;
+    }
+      (** Single-tuple insert ([add = true]) or delete against a named
+          structure's relation. Maintained RA query results are updated
+          by delta propagation rather than recomputation. *)
   | Game of {
       left : string;
       right : string;

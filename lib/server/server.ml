@@ -62,6 +62,9 @@ type stats = {
   in_flight : int;
   cache_hits : int;
   cache_misses : int;
+  plan_hits : int;
+  plan_misses : int;
+  plans_maintained : int;
   structures : int;
   durability : Store.durability_stats option;
 }
@@ -86,6 +89,7 @@ type t = {
   tcp_port : int option;
   store : Store.t;
   cache : Qcache.t;
+  pcache : Pcache.t;
   queue : job Queue.t;
   qmutex : Mutex.t;
   qcond : Condition.t;
@@ -228,6 +232,7 @@ let run_request t (job : job) =
           | Error (Store.Io e) -> raise (Reject ("io-error", e))
           | Ok () ->
               Qcache.invalidate t.cache ~sname:name;
+              Pcache.invalidate t.pcache ~sname:name;
               ( `Ok,
                 [
                   ("name", Json.Str name);
@@ -246,40 +251,82 @@ let run_request t (job : job) =
           (* The cache keys compiled formulas by structure name: a future
              load under this name must not see stale entries. *)
           Qcache.invalidate t.cache ~sname:name;
+          Pcache.invalidate t.pcache ~sname:name;
           (`Ok, [ ("name", Json.Str name); ("dropped", Json.Bool true) ]))
-  | Protocol.Eval { structure; formula } -> (
+  | Protocol.Eval { structure; formula; ra } -> (
       let s = get structure in
       match Qcache.formula t.cache (Structure.signature s) formula with
       | Error e -> raise (Reject ("parse-error", e))
       | Ok phi ->
-          if not (eval_cost_ok s phi) then
-            raise
-              (Reject
-                 ( "too-expensive",
-                   "quantifier depth times structure size exceeds the \
-                    server's evaluation bound" ));
-          Qcache.with_compiled t.cache ~sname:structure s formula phi
-            (fun compiled ->
-              if Compiled.free_vars compiled = [] then
-                (`Ok, [ ("value", Json.Bool (Compiled.run compiled [||])) ])
-              else begin
-                let tuples = Compiled.definable_relation_of compiled in
-                let total = Tuple.Set.cardinal tuples in
-                let sample =
-                  Tuple.Set.to_seq tuples |> Seq.take 50 |> List.of_seq
-                in
-                ( `Ok,
-                  [
-                    ("vars",
-                     Json.List
-                       (List.map
-                          (fun v -> Json.Str v)
-                          (Compiled.free_vars compiled)));
-                    ("count", Json.of_int total);
-                    ("tuples", Json.List (List.map tuple_json sample));
-                    ("truncated", Json.Bool (total > List.length sample));
-                  ] )
-              end))
+          let answer_fields vars tuples =
+            if vars = [] then
+              [ ("value", Json.Bool (not (Tuple.Set.is_empty tuples))) ]
+            else begin
+              let total = Tuple.Set.cardinal tuples in
+              let sample =
+                Tuple.Set.to_seq tuples |> Seq.take 50 |> List.of_seq
+              in
+              [
+                ("vars", Json.List (List.map (fun v -> Json.Str v) vars));
+                ("count", Json.of_int total);
+                ("tuples", Json.List (List.map tuple_json sample));
+                ("truncated", Json.Bool (total > List.length sample));
+              ]
+            end
+          in
+          if ra then begin
+            (* The planned engine polls the request budget per row, so it
+               needs no up-front cost gate; answers are maintained across
+               [update] ops by delta propagation. *)
+            match
+              Pcache.with_result ~budget:job.budget t.pcache
+                ~sname:structure s formula phi (fun vars rel ->
+                  answer_fields vars (Fmtk_db.Relation.tuples rel))
+            with
+            | Error e -> raise (Reject ("plan-error", e))
+            | Ok fields -> (`Ok, ("engine", Json.Str "ra") :: fields)
+          end
+          else begin
+            if not (eval_cost_ok s phi) then
+              raise
+                (Reject
+                   ( "too-expensive",
+                     "quantifier depth times structure size exceeds the \
+                      server's evaluation bound" ));
+            Qcache.with_compiled t.cache ~sname:structure s formula phi
+              (fun compiled ->
+                if Compiled.free_vars compiled = [] then
+                  (`Ok, [ ("value", Json.Bool (Compiled.run compiled [||])) ])
+                else
+                  ( `Ok,
+                    answer_fields
+                      (Compiled.free_vars compiled)
+                      (Compiled.definable_relation_of compiled) ))
+          end)
+  | Protocol.Update { structure; rel; tuple; add } -> (
+      let tup = Array.of_list tuple in
+      match Store.update t.store ~name:structure ~rel tup ~add with
+      | Error (`Unknown m) -> raise (Reject ("unknown-structure", m))
+      | Error (`Invalid m) -> raise (Reject ("bad-update", m))
+      | Error (`Io m) -> raise (Reject ("io-error", m))
+      | Ok (s', changed) ->
+          if changed then begin
+            (* Maintained plans advance by delta propagation; compiled
+               evaluators are identity-bound and would re-compile on the
+               next probe anyway — drop them eagerly. *)
+            Pcache.apply_update ~budget:job.budget t.pcache ~sname:structure
+              s' ~rel tup ~add;
+            Qcache.invalidate t.cache ~sname:structure
+          end;
+          ( `Ok,
+            [
+              ("name", Json.Str structure);
+              ("rel", Json.Str rel);
+              ("tuple", tuple_json tup);
+              ("action", Json.Str (if add then "insert" else "delete"));
+              ("changed", Json.Bool changed);
+              ("tuples", Json.of_int (Structure.tuple_count s'));
+            ] ))
   | Protocol.Game { left; right; rounds; pebbles; counting } -> (
       let a = get left and b = get right in
       let verdict, (st : Fmtk_games.Engine.stats), game =
@@ -418,6 +465,9 @@ let snapshot t =
     in_flight = Atomic.get t.in_flight;
     cache_hits = Qcache.hits t.cache;
     cache_misses = Qcache.misses t.cache;
+    plan_hits = Pcache.hits t.pcache;
+    plan_misses = Pcache.misses t.pcache;
+    plans_maintained = Pcache.maintained t.pcache;
     structures = Store.count t.store;
     durability = Store.durability_stats t.store;
   }
@@ -455,6 +505,9 @@ let inline_response t (req : Protocol.request) id t0 =
            Json.Num
              (if probes = 0 then 0.
               else float_of_int s.cache_hits /. float_of_int probes));
+          ("plan_hits", Json.of_int s.plan_hits);
+          ("plan_misses", Json.of_int s.plan_misses);
+          ("plans_maintained", Json.of_int s.plans_maintained);
           ("structures", Json.of_int s.structures);
           ("workers", Json.of_int t.cfg.workers);
           ("max_inflight", Json.of_int t.cfg.max_inflight);
@@ -714,6 +767,7 @@ let create ?(preload = []) cfg =
               tcp_port;
               store;
               cache = Qcache.create ~capacity:cfg.cache_capacity ();
+              pcache = Pcache.create ~capacity:cfg.cache_capacity ();
               queue = Queue.create ();
               qmutex = Mutex.create ();
               qcond = Condition.create ();

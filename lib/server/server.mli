@@ -92,6 +92,9 @@ type stats = {
   in_flight : int;
   cache_hits : int;
   cache_misses : int;
+  plan_hits : int;  (** maintained-plan cache ({!Pcache}) hits *)
+  plan_misses : int;
+  plans_maintained : int;  (** delta propagations applied by [update] ops *)
   structures : int;
   durability : Store.durability_stats option;
       (** [None] unless running with a [data_dir] *)

@@ -1,4 +1,6 @@
 module Structure = Fmtk_structure.Structure
+module Tuple = Fmtk_structure.Tuple
+module Signature = Fmtk_logic.Signature
 module Io_fault = Fmtk_runtime.Io_fault
 
 type sync_policy = Always | Interval of int | Never
@@ -300,6 +302,69 @@ let put t ~name s =
           Option.iter (maybe_compact t) t.dur;
           Ok ())
   end
+
+(* Single-tuple mutation: read-modify-write under the store mutex, so
+   concurrent updates to the same name serialize. The new structure value
+   is journaled like a [put] (full image — incremental journal records
+   are future work), and returned so callers can re-bind caches keyed by
+   structure identity. *)
+let update t ~name ~rel tup ~add =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | None ->
+          Error (`Unknown (Printf.sprintf "no structure named %S" name))
+      | Some s -> (
+          let sg = Structure.signature s in
+          match List.assoc_opt rel (Signature.rels sg) with
+          | None ->
+              Error
+                (`Invalid
+                   (Printf.sprintf "no relation %S in %S's signature" rel name))
+          | Some arity ->
+              if Array.length tup <> arity then
+                Error
+                  (`Invalid
+                     (Printf.sprintf
+                        "relation %S has arity %d, got a %d-tuple" rel arity
+                        (Array.length tup)))
+              else if
+                Array.exists (fun v -> v < 0 || v >= Structure.size s) tup
+              then
+                Error
+                  (`Invalid
+                     (Printf.sprintf
+                        "tuple coordinates must lie in [0,%d)"
+                        (Structure.size s)))
+              else
+                let cur = Structure.rel s rel in
+                let changed =
+                  if add then not (Tuple.Set.mem tup cur)
+                  else Tuple.Set.mem tup cur
+                in
+                if not changed then Ok (s, false)
+                else begin
+                  let tuples =
+                    if add then Tuple.Set.add tup cur
+                    else Tuple.Set.remove tup cur
+                  in
+                  let s' = Structure.with_rel s rel arity tuples in
+                  Structure.ensure_indexes s';
+                  let* () =
+                    match t.dur with
+                    | None -> Ok ()
+                    | Some d -> (
+                        match
+                          journal_mutation d
+                            (Journal.Put
+                               { name; data = Journal.encode_structure s' })
+                        with
+                        | Ok () -> Ok ()
+                        | Error e -> Error (`Io e))
+                  in
+                  Hashtbl.replace t.table name s';
+                  Option.iter (maybe_compact t) t.dur;
+                  Ok (s', true)
+                end))
 
 let remove t name =
   locked t (fun () ->

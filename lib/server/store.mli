@@ -99,6 +99,25 @@ val open_durable :
     is durable per the sync policy once [Ok] is returned. *)
 val put : t -> name:string -> Structure.t -> (unit, put_error) result
 
+(** [update t ~name ~rel tup ~add] inserts ([add:true]) or deletes one
+    tuple of relation [rel] of the structure bound to [name]. The
+    read-modify-write is atomic (serialized under the store mutex) and
+    the resulting structure is journaled like a {!put}. Returns the new
+    binding plus [true] when the store changed — inserting a present
+    tuple or deleting an absent one is an acknowledged no-op ([false]),
+    so the caller can skip cache maintenance. Validation is total:
+    unknown names, undeclared relations, arity mismatches and
+    out-of-domain coordinates are [Error]s, never exceptions. *)
+val update :
+  t ->
+  name:string ->
+  rel:string ->
+  int array ->
+  add:bool ->
+  ( Structure.t * bool,
+    [ `Unknown of string | `Invalid of string | `Io of string ] )
+  result
+
 (** [remove t name] journals and removes the binding. [Ok false] when
     [name] is not bound (nothing is journaled); [Error] on a journal IO
     failure. *)

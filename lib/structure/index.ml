@@ -125,6 +125,17 @@ let mem1 t e =
   | Generic tbl -> TupTbl.mem tbl [| e |]
   | Rows _ | Nullary -> false
 
+(* Access-path hooks for the query planner: when the index is CSR-backed,
+   expose the rows so an index-nested-loop join can enumerate the matches of
+   a bound first coordinate instead of hashing the whole relation. *)
+
+let rows t = match t.repr with Rows csr -> Some csr | _ -> None
+
+let iter_row1 t x f =
+  match t.repr with
+  | Rows csr -> Csr.iter_row csr x f
+  | _ -> invalid_arg "Index.iter_row1: not a Rows index"
+
 let mem2 t x y =
   t.arity = 2
   &&

@@ -37,3 +37,18 @@ val mem1 : t -> int -> bool
 
 (** Allocation-free binary probe: [mem2 t x y = mem t [|x;y|]]. *)
 val mem2 : t -> int -> int -> bool
+
+(** {1 Access paths}
+
+    Hooks for the query planner ({!Fmtk_db}): beyond membership probes, an
+    index may support enumerating the tuples matching a bound prefix. *)
+
+(** The CSR rows behind a {!of_csr} index, if that is the representation —
+    the access path for index-nested-loop joins over large binary
+    relations. *)
+val rows : t -> Csr.t option
+
+(** [iter_row1 t x f] enumerates all [y] with [(x, y)] in the indexed
+    relation, in sorted order. Only available on CSR-backed indexes.
+    @raise Invalid_argument otherwise (check {!rows} first). *)
+val iter_row1 : t -> int -> (int -> unit) -> unit

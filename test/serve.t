@@ -73,7 +73,7 @@ exactly the acked state and reports the replay in stats.
   {"id":2,"status":"ok","result":{"name":"gone","size":4,"tuples":4}}
   {"id":3,"status":"ok","result":{"name":"gone","dropped":true}}
   $ kill -KILL "$SERVER_PID"
-  $ wait "$SERVER_PID" || true
+  $ wait "$SERVER_PID" 2>/dev/null || true
 
   $ ../bin/fmtk_cli.exe serve --socket "$SOCK2" --quiet --data-dir d1 &
   $ SERVER_PID=$!

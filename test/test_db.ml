@@ -93,32 +93,41 @@ let test_algebra_eval () =
   in
   let open Algebra in
   let e = Project ([ "a"; "c" ], Join (Base "R", Base "S")) in
-  let result = Algebra.eval db e in
+  let result = Algebra.eval_exn db e in
   checki "paths" 3 (Relation.cardinality result);
   let e2 = Select (Eq_const ("a", 1), Base "R") in
-  checki "selection" 2 (Relation.cardinality (Algebra.eval db e2));
+  checki "selection" 2 (Relation.cardinality (Algebra.eval_exn db e2));
   let e3 = Diff (Base "R", Select (Eq_const ("a", 1), Base "R")) in
-  checki "difference" 1 (Relation.cardinality (Algebra.eval db e3));
-  try
-    ignore (Algebra.eval db (Base "T"));
-    Alcotest.fail "unknown base"
-  with Invalid_argument _ -> ()
+  checki "difference" 1 (Relation.cardinality (Algebra.eval_exn db e3));
+  (* unknown base relations: total error path, no escaping exception *)
+  (match Algebra.eval db (Base "T") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown base");
+  match Algebra.Database.find db "T" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown base find"
 
 let test_database_of_structure () =
   let sg = Signature.make ~consts:[ "a" ] [ ("E", 2) ] in
   let s = Structure.make sg ~size:3 ~consts:[ ("a", 1) ] [ ("E", [ [| 0; 1 |] ]) ] in
   let db = Algebra.Database.of_structure s in
   checki "adom is full domain" 3
-    (Relation.cardinality (Algebra.Database.find db "adom"));
+    (Relation.cardinality (Algebra.Database.find_exn db "adom"));
   checki "constant singleton" 1
-    (Relation.cardinality (Algebra.Database.find db "@a"));
-  checki "E table" 1 (Relation.cardinality (Algebra.Database.find db "E"))
+    (Relation.cardinality (Algebra.Database.find_exn db "@a"));
+  checki "E table" 1 (Relation.cardinality (Algebra.Database.find_exn db "E"))
 
 (* ---------- FO -> RA compilation: agreement with direct evaluation ----- *)
 
 let compiled_equals_direct s phi =
   let fv = Formula.free_vars phi in
-  let _, ra = Compile.answers s phi in
+  (* [_any]: random formulas need not be safe-range; the padded semantics
+     agrees with Tarski semantics on the full-domain adom *)
+  let _, ra =
+    match Compile.answers_any s phi with
+    | Ok r -> r
+    | Error (`Msg m) -> Alcotest.fail m
+  in
   let direct = Eval.definable_relation s phi ~vars:fv in
   Tuple.Set.equal ra direct
 
@@ -183,12 +192,26 @@ let test_compile_constants () =
 
 let test_compile_sat () =
   let s = graph_of [ (0, 1); (1, 0) ] ~size:2 in
-  checkb "sat sentence" true (Compile.sat s (f "forall x. exists y. E(x,y)"));
-  checkb "unsat sentence" false (Compile.sat s (f "exists x. E(x,x)"));
-  try
-    ignore (Compile.sat s (f "E(x,y)"));
-    Alcotest.fail "free vars"
-  with Invalid_argument _ -> ()
+  let sat_any phi =
+    match Compile.sat_any s phi with
+    | Ok v -> v
+    | Error (`Msg m) -> Alcotest.fail m
+  in
+  (* ∀∃ sentences are not safe-range; [sat_any] evaluates them anyway *)
+  checkb "sat sentence" true (sat_any (f "forall x. exists y. E(x,y)"));
+  checkb "unsat sentence" false (sat_any (f "exists x. E(x,x)"));
+  checkb "safe-range sentence through sat" true
+    (match Compile.sat s (f "exists x y. E(x,y)") with
+    | Ok v -> v
+    | Error _ -> Alcotest.fail "refused a safe-range sentence");
+  (* the default entry point refuses non-safe-range sentences... *)
+  (match Compile.sat s (f "forall x. exists y. E(x,y)") with
+  | Error (`Msg _) -> ()
+  | Ok _ -> Alcotest.fail "expected safe-range refusal");
+  (* ...and non-sentences *)
+  match Compile.sat_any s (f "E(x,y)") with
+  | Error (`Msg _) -> ()
+  | Ok _ -> Alcotest.fail "free vars"
 
 (* ---------- Safe range ---------- *)
 

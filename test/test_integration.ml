@@ -51,7 +51,11 @@ let prop_four_way_agreement =
     QCheck2.Gen.(pair gen_graph gen_sentence)
     (fun (g, phi) ->
       let direct = Eval.sat g phi in
-      let via_ra = Compile.sat g phi in
+      let via_ra =
+        match Compile.sat_any g phi with
+        | Ok v -> v
+        | Error (`Msg m) -> QCheck2.Test.fail_report m
+      in
       let via_circuit =
         Fo_circuit.run
           (Fo_circuit.compile Signature.graph ~size:(Structure.size g) phi)
@@ -87,13 +91,18 @@ let prop_ef_vs_distinguish_vs_engines =
   QCheck2.Test.make ~count:60 ~name:"EF game <-> distinguishing sentence <-> engines"
     QCheck2.Gen.(pair gen_graph gen_graph)
     (fun (a, b) ->
+      let ra_sat s phi =
+        match Compile.sat_any s phi with
+        | Ok v -> v
+        | Error (`Msg m) -> QCheck2.Test.fail_report m
+      in
       match Distinguish.sentence ~rounds:2 a b with
       | None -> Ef.duplicator_wins ~rounds:2 a b
       | Some phi ->
           (not (Ef.duplicator_wins ~rounds:2 a b))
-          && Eval.sat a phi && Compile.sat a phi
+          && Eval.sat a phi && ra_sat a phi
           && (not (Eval.sat b phi))
-          && not (Compile.sat b phi))
+          && not (ra_sat b phi))
 
 (* Bounded-degree Hanf evaluation agrees with the RA engine. *)
 let prop_bounded_degree_vs_ra =
@@ -102,7 +111,12 @@ let prop_bounded_degree_vs_ra =
     (fun (phi, n) ->
       let ev = Bounded_degree.make phi ~degree_bound:2 in
       let g = Gen.cycle n in
-      Bounded_degree.eval ev g = Compile.sat g phi)
+      let ra =
+        match Compile.sat_any g phi with
+        | Ok v -> v
+        | Error (`Msg m) -> QCheck2.Test.fail_report m
+      in
+      Bounded_degree.eval ev g = ra)
 
 (* Counting sentences vs structure sizes across all engines. *)
 let test_cardinality_cross_engine () =
@@ -116,7 +130,10 @@ let test_cardinality_cross_engine () =
         (n >= k) direct;
       checkb
         (Printf.sprintf "at_least %d on %d (ra)" k n)
-        direct (Compile.sat s phi)
+        direct
+        (match Compile.sat_any s phi with
+        | Ok v -> v
+        | Error (`Msg m) -> Alcotest.fail m)
     done
   done
 

@@ -130,7 +130,7 @@ let test_protocol_parse () =
   | Protocol.Load { name = "c"; spec = Some "cycle:6"; text = None }, _ -> ()
   | _ -> Alcotest.fail "load misparsed");
   (match ok {|{"op":"eval","structure":"c","formula":"E(x,y)","timeout":1.5,"fuel":100}|} with
-  | Protocol.Eval { structure = "c"; formula = "E(x,y)" }, l ->
+  | Protocol.Eval { structure = "c"; formula = "E(x,y)"; ra = false }, l ->
       checkb "timeout" true (l.Protocol.timeout = Some 1.5);
       checkb "fuel" true (l.Protocol.fuel = Some 100)
   | _ -> Alcotest.fail "eval misparsed");
@@ -220,6 +220,46 @@ let test_store () =
   checkb "no durability stats" true (Store.durability_stats st = None);
   checkb "no compaction" true
     (match Store.compact st with Error _ -> true | Ok () -> false)
+
+let test_store_update () =
+  let module Tuple = Fmtk_structure.Tuple in
+  let st = Store.create () in
+  checkb "seed" true (Store.put st ~name:"g" (Gen.cycle 4) = Ok ());
+  let edge s u v = Structure.mem s "E" [| u; v |] in
+  (* Insert is visible through the store and returns the new binding. *)
+  (match Store.update st ~name:"g" ~rel:"E" [| 0; 2 |] ~add:true with
+  | Ok (s', true) ->
+      checkb "insert visible in returned value" true (edge s' 0 2);
+      checkb "insert visible via get" true
+        (match Store.get st "g" with Some s -> edge s 0 2 | None -> false);
+      checkb "returned value is the binding" true (Store.get st "g" = Some s')
+  | _ -> Alcotest.fail "insert refused");
+  (* Idempotent insert / absent delete: acknowledged no-ops, binding
+     untouched. *)
+  let before = Store.get st "g" in
+  (match Store.update st ~name:"g" ~rel:"E" [| 0; 2 |] ~add:true with
+  | Ok (_, false) -> ()
+  | _ -> Alcotest.fail "re-insert should be a no-op");
+  (match Store.update st ~name:"g" ~rel:"E" [| 2; 0 |] ~add:false with
+  | Ok (_, false) -> ()
+  | _ -> Alcotest.fail "absent delete should be a no-op");
+  checkb "no-ops keep identity" true (Store.get st "g" = before);
+  (* Delete removes. *)
+  (match Store.update st ~name:"g" ~rel:"E" [| 0; 2 |] ~add:false with
+  | Ok (s', true) -> checkb "delete took" true (not (edge s' 0 2))
+  | _ -> Alcotest.fail "delete refused");
+  (* Total validation: every bad input is a typed error. *)
+  let invalid = function Error (`Invalid _) -> true | _ -> false in
+  checkb "unknown name" true
+    (match Store.update st ~name:"zzz" ~rel:"E" [| 0; 1 |] ~add:true with
+    | Error (`Unknown _) -> true
+    | _ -> false);
+  checkb "unknown rel" true
+    (invalid (Store.update st ~name:"g" ~rel:"R" [| 0 |] ~add:true));
+  checkb "bad arity" true
+    (invalid (Store.update st ~name:"g" ~rel:"E" [| 0 |] ~add:true));
+  checkb "out of domain" true
+    (invalid (Store.update st ~name:"g" ~rel:"E" [| 0; 7 |] ~add:true))
 
 (* ---------- journal codec ---------- *)
 
@@ -768,6 +808,90 @@ let test_end_to_end () =
   checki "stats in-flight drained" 0 s.Server.in_flight;
   Client.close c
 
+(* Single-tuple mutations through the wire: the RA engine's maintained
+   plans must advance by delta propagation (a cache hit, not a rebuild)
+   and keep agreeing with the compiled engine re-run from scratch. *)
+let test_update_and_ra_eval () =
+  with_server ~preload:[ ("g", "cycle:5") ] @@ fun srv port ->
+  let c = Client.connect port in
+  let result_field name resp =
+    match field "result" resp with
+    | Some (Json.Obj fields) -> List.assoc_opt name fields
+    | _ -> Alcotest.failf "response without result object: %S" resp
+  in
+  let ra_q =
+    {|{"op":"eval","id":1,"structure":"g","formula":"E(x,y)","ra":true}|}
+  in
+  let r = Client.request c ra_q in
+  checks "ra eval" "ok" (status r);
+  checkb "ra engine tag" true (result_field "engine" r = Some (Json.Str "ra"));
+  checkb "ra count" true (result_field "count" r = Some (Json.Num 5.));
+  (* Insert a chord. *)
+  let r =
+    Client.request c
+      {|{"op":"update","id":2,"structure":"g","rel":"E","tuple":[0,2],"action":"insert"}|}
+  in
+  checks "update" "ok" (status r);
+  checkb "update changed" true (result_field "changed" r = Some (Json.Bool true));
+  let r = Client.request c ra_q in
+  checkb "ra count after insert" true (result_field "count" r = Some (Json.Num 6.));
+  let s = Server.stats srv in
+  checkb "maintained plan hit, not rebuilt" true (s.Server.plan_hits >= 1);
+  checkb "delta propagation recorded" true (s.Server.plans_maintained >= 1);
+  (* The compiled engine, re-run from scratch, agrees. *)
+  let r =
+    Client.request c {|{"op":"eval","id":3,"structure":"g","formula":"E(x,y)"}|}
+  in
+  checkb "compiled count agrees" true (result_field "count" r = Some (Json.Num 6.));
+  (* Inserting a present tuple is an acknowledged no-op. *)
+  let r =
+    Client.request c
+      {|{"op":"update","id":4,"structure":"g","rel":"E","tuple":[0,2],"action":"insert"}|}
+  in
+  checks "idempotent insert" "ok" (status r);
+  checkb "no-op flagged" true (result_field "changed" r = Some (Json.Bool false));
+  (* Delete restores the original answer set. *)
+  let r =
+    Client.request c
+      {|{"op":"update","id":5,"structure":"g","rel":"E","tuple":[0,2],"action":"delete"}|}
+  in
+  checks "delete" "ok" (status r);
+  let r = Client.request c ra_q in
+  checkb "ra count after delete" true (result_field "count" r = Some (Json.Num 5.));
+  (* A sentence through the RA engine. *)
+  let r =
+    Client.request c
+      {|{"op":"eval","id":6,"structure":"g","formula":"exists x. E(x,x)","ra":true}|}
+  in
+  checkb "ra sentence" true (result_field "value" r = Some (Json.Bool false));
+  (* Validation surface: structured errors, connection keeps serving. *)
+  let expect_error name line want =
+    let r = Client.request c line in
+    checks (name ^ " status") "error" (status r);
+    checks (name ^ " code") want
+      (match code r with Some cd -> cd | None -> "<none>")
+  in
+  expect_error "unknown structure"
+    {|{"op":"update","id":7,"structure":"ghost","rel":"E","tuple":[0,1],"action":"insert"}|}
+    "unknown-structure";
+  expect_error "unknown relation"
+    {|{"op":"update","id":8,"structure":"g","rel":"R","tuple":[0,1],"action":"insert"}|}
+    "bad-update";
+  expect_error "arity mismatch"
+    {|{"op":"update","id":9,"structure":"g","rel":"E","tuple":[0,1,2],"action":"insert"}|}
+    "bad-update";
+  expect_error "out of domain"
+    {|{"op":"update","id":10,"structure":"g","rel":"E","tuple":[0,99],"action":"insert"}|}
+    "bad-update";
+  expect_error "bad action"
+    {|{"op":"update","id":11,"structure":"g","rel":"E","tuple":[0,1],"action":"upsert"}|}
+    "bad-request";
+  expect_error "bad tuple"
+    {|{"op":"update","id":12,"structure":"g","rel":"E","tuple":[0,"x"],"action":"insert"}|}
+    "bad-request";
+  checks "still serving" "ok" (status (Client.request c {|{"op":"ping","id":13}|}));
+  Client.close c
+
 let test_oversized_line () =
   with_server ~configure:(fun c -> { c with Server.max_line = 256 }) @@ fun _ port ->
   let c = Client.connect port in
@@ -1213,7 +1337,11 @@ let () =
           Alcotest.test_case "totality" `Quick test_json_totality;
         ] );
       ("protocol", [ Alcotest.test_case "parse" `Quick test_protocol_parse ]);
-      ("store", [ Alcotest.test_case "bounds" `Quick test_store ]);
+      ( "store",
+        [
+          Alcotest.test_case "bounds" `Quick test_store;
+          Alcotest.test_case "single-tuple update" `Quick test_store_update;
+        ] );
       ( "journal",
         [
           Alcotest.test_case "round-trip" `Quick test_journal_roundtrip;
@@ -1239,6 +1367,7 @@ let () =
       ( "serve",
         [
           Alcotest.test_case "end-to-end" `Quick test_end_to_end;
+          Alcotest.test_case "update + ra eval" `Quick test_update_and_ra_eval;
           Alcotest.test_case "drop" `Quick test_drop_end_to_end;
           Alcotest.test_case "durable restart" `Quick
             test_durable_server_restart;
