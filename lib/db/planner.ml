@@ -710,36 +710,57 @@ let plan ?stats db e =
         };
     }
   (* Build an index probe pattern for a scan leaf all of whose emitted
-     attributes are bound in [acc]; returns None if some position cannot be
-     determined. *)
+     attributes are bound in [acc]; returns None if some position cannot
+     be determined, or if a residual constraint would be lost. The probe
+     checks only membership of the pattern tuple, so every [consts]/[eqs]
+     constraint must either pin a previously free position or be
+     provably implied by the pattern — a const on a position already
+     determined otherwise, or an equality between two positions
+     determined to different sources, cannot be checked at probe time
+     and must fall back to SemiJoin, whose leaf execution enforces them. *)
   and probe_pat ~arity ~eqs ~consts ~out ~schema acc =
+    let exception Residual in
     let pat = Array.make arity None in
-    Array.iteri
-      (fun slot pos ->
-        pat.(pos) <- Some (P.PSlot (slot_of acc.p.P.schema schema.(slot))))
-      out;
-    List.iter
-      (fun (pos, v) -> if pat.(pos) = None then pat.(pos) <- Some (P.PConst v))
-      consts;
-    (* propagate positional equalities until fixpoint *)
-    let again = ref true in
-    while !again do
-      again := false;
+    let determine pos p =
+      match pat.(pos) with
+      | None -> pat.(pos) <- Some p
+      | Some p' -> if p' <> p then raise Residual
+    in
+    try
+      Array.iteri
+        (fun slot pos ->
+          determine pos (P.PSlot (slot_of acc.p.P.schema schema.(slot))))
+        out;
+      List.iter (fun (pos, v) -> determine pos (P.PConst v)) consts;
+      (* propagate positional equalities until fixpoint *)
+      let again = ref true in
+      while !again do
+        again := false;
+        List.iter
+          (fun (i, j) ->
+            match (pat.(i), pat.(j)) with
+            | Some p, None ->
+                pat.(j) <- Some p;
+                again := true
+            | None, Some p ->
+                pat.(i) <- Some p;
+                again := true
+            | _ -> ())
+          eqs
+      done;
+      (* every equality must hold by construction of the pattern: two
+         positions carrying different sources may still probe a tuple
+         the scan's eq filter would have rejected *)
       List.iter
         (fun (i, j) ->
           match (pat.(i), pat.(j)) with
-          | Some p, None ->
-              pat.(j) <- Some p;
-              again := true
-          | None, Some p ->
-              pat.(i) <- Some p;
-              again := true
+          | Some a, Some b when a <> b -> raise Residual
           | _ -> ())
-        eqs
-    done;
-    if Array.for_all Option.is_some pat then
-      Some (Array.map Option.get pat)
-    else None
+        eqs;
+      if Array.for_all Option.is_some pat then
+        Some (Array.map Option.get pat)
+      else None
+    with Residual -> None
   and join_step acc leaf extra_keys est =
     let b = SSet.of_list (Array.to_list acc.p.P.schema) in
     let shared =

@@ -12,7 +12,13 @@ type entry = {
   mutable bound_to : Structure.t;
       (* physical identity of the structure value the maintained counts
          currently describe; [apply_update] advances it in lockstep with
-         the store's read-modify-write *)
+         the store's read-modify-write. Both mutable fields are read and
+         written only under [entry_lock]. *)
+  mutable bound_seq : int;
+      (* the store's per-name mutation sequence for [bound_to]:
+         [apply_update] applies exactly the delta numbered
+         [bound_seq + 1], so deltas land in commit order even though
+         propagation runs outside the store's critical section *)
 }
 
 type t = {
@@ -41,22 +47,30 @@ let locked t f =
 (* Answer [phi] on [s] from the maintained materialization, building it
    on a miss (or when [sname] was re-bound wholesale by a load since the
    entry was cached — identity mismatch means the counts describe a
-   stale value and delta maintenance lost the thread, so rebuild). *)
-let with_result ?budget t ~sname s text phi f =
+   stale value and delta maintenance lost the thread, so rebuild). The
+   identity check and the read of the maintained result happen under one
+   [entry_lock] critical section, so the answer served is exactly the
+   one the check validated. [seq] is the store sequence paired with [s]
+   (read atomically by [Store.get_seq]); a rebuilt entry is bound to it
+   so subsequent deltas slot in at [seq + 1]. *)
+let with_result ?budget t ~sname ~seq s text phi f =
   let key = (sname, text) in
-  let cached =
+  let hit =
     match locked t (fun () -> Hashtbl.find_opt t.table key) with
-    | Some e when e.bound_to == s ->
-        Atomic.incr t.hits;
-        Some e
-    | _ -> None
+    | None -> None
+    | Some e ->
+        Mutex.lock e.entry_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock e.entry_lock)
+          (fun () ->
+            if e.bound_to == s then begin
+              Atomic.incr t.hits;
+              Some (f e.vars (Delta.result e.delta))
+            end
+            else None)
   in
-  match cached with
-  | Some e ->
-      Mutex.lock e.entry_lock;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock e.entry_lock)
-        (fun () -> Ok (f e.vars (Delta.result e.delta)))
+  match hit with
+  | Some v -> Ok v
   | None -> (
       Atomic.incr t.misses;
       let vars = Formula.free_vars phi in
@@ -66,20 +80,47 @@ let with_result ?budget t ~sname s text phi f =
       | Error m -> Error m
       | Ok delta ->
           let entry =
-            { delta; vars; entry_lock = Mutex.create (); bound_to = s }
+            {
+              delta;
+              vars;
+              entry_lock = Mutex.create ();
+              bound_to = s;
+              bound_seq = seq;
+            }
           in
           locked t (fun () ->
-              if Hashtbl.length t.table >= t.capacity then
-                Hashtbl.reset t.table;
+              (* at capacity, evict a single victim rather than the
+                 whole table: one miss must not cost every maintained
+                 plan of every other (structure, formula) pair *)
+              if
+                (not (Hashtbl.mem t.table key))
+                && Hashtbl.length t.table >= t.capacity
+              then begin
+                match Hashtbl.to_seq_keys t.table () with
+                | Seq.Cons (victim, _) -> Hashtbl.remove t.table victim
+                | Seq.Nil -> ()
+              end;
               Hashtbl.replace t.table key entry);
           Ok (f vars (Delta.result delta)))
 
 (* Push a store update through every maintained plan over [sname] and
-   re-bind them to the new structure value. An entry whose propagation
-   fails (budget exhaustion mid-delta leaves its counts torn) is dropped:
-   the next eval rebuilds it from scratch — stale answers are never
+   re-bind them to the new structure value. Propagation runs outside the
+   store's critical section, so concurrent updates to one name can reach
+   a given entry in any order; [seq] (assigned under the store mutex, so
+   sequence order is commit order) restores the ordering per entry:
+
+   - [seq = bound_seq + 1]: the next committed delta — apply it;
+   - [seq <= bound_seq]: already reflected in the materialization (the
+     entry was built from, or maintained past, a store state that
+     includes this update) — skip, applying again would double-count;
+   - [seq > bound_seq + 1]: a delta this entry never saw committed in
+     between (reordered arrival, or the entry was inserted between two
+     propagation sweeps) — drop the entry; the next eval rebuilds it.
+
+   An entry whose propagation fails (budget exhaustion mid-delta leaves
+   its counts torn) is dropped too: stale or torn answers are never
    served. *)
-let apply_update ?budget t ~sname s' ~rel tup ~add =
+let apply_update ?budget t ~sname ~seq s' ~rel tup ~add =
   let entries =
     locked t (fun () ->
         Hashtbl.fold
@@ -92,12 +133,17 @@ let apply_update ?budget t ~sname s' ~rel tup ~add =
       Fun.protect
         ~finally:(fun () -> Mutex.unlock e.entry_lock)
         (fun () ->
-          match Delta.update ?budget e.delta ~rel tup ~add with
-          | Ok () ->
-              e.bound_to <- s';
-              Atomic.incr t.maintained
-          | Error _ | (exception Fmtk_runtime.Budget.Exhausted _) ->
-              locked t (fun () -> Hashtbl.remove t.table key)))
+          if seq <= e.bound_seq then ()
+          else if seq > e.bound_seq + 1 then
+            locked t (fun () -> Hashtbl.remove t.table key)
+          else
+            match Delta.update ?budget e.delta ~rel tup ~add with
+            | Ok () ->
+                e.bound_to <- s';
+                e.bound_seq <- seq;
+                Atomic.incr t.maintained
+            | Error _ | (exception Fmtk_runtime.Budget.Exhausted _) ->
+                locked t (fun () -> Hashtbl.remove t.table key)))
     entries
 
 let invalidate t ~sname =

@@ -10,10 +10,15 @@
     O(affected rows) per mutation rather than a re-evaluation.
 
     Entries are bound to the {e physical identity} of the structure
-    value they describe. [load] re-binds a name to a fresh value, which
+    value they describe plus its store mutation {e sequence number}
+    ({!Store.get_seq}). [load] re-binds a name to a fresh value, which
     makes every entry under that name miss (and {!invalidate} frees them
     eagerly); {!apply_update} advances the binding in lockstep with the
-    store's read-modify-write, which is what keeps a hit sound. *)
+    store's read-modify-write. Because propagation runs outside the
+    store's critical section, the sequence number is what keeps a hit
+    sound under concurrency: each entry accepts exactly the delta
+    numbered one past the state it describes, ignores deltas it already
+    reflects, and self-evicts when it observes a gap. *)
 
 module Formula := Fmtk_logic.Formula
 module Structure := Fmtk_structure.Structure
@@ -23,27 +28,35 @@ type t
 
 val create : ?capacity:int -> unit -> t
 
-(** [with_result t ~sname s text phi f] answers [phi] from the
+(** [with_result t ~sname ~seq s text phi f] answers [phi] from the
     maintained materialization (building it on a miss, budget-governed),
-    applying [f vars answers] under the entry lock. [Error] on planner
-    or materialization failure. *)
+    applying [f vars answers] under the entry lock. [(s, seq)] must be a
+    pair read atomically by {!Store.get_seq}: a rebuilt entry is bound
+    to [seq] so later deltas slot in at [seq + 1]. [Error] on planner or
+    materialization failure. *)
 val with_result :
   ?budget:Fmtk_runtime.Budget.t ->
   t ->
   sname:string ->
+  seq:int ->
   Structure.t ->
   string ->
   Formula.t ->
   (string list -> Relation.t -> 'a) ->
   ('a, string) result
 
-(** [apply_update t ~sname s' ~rel tup ~add] delta-maintains every plan
-    cached under [sname] and re-binds it to [s'] (the store's new value).
-    Entries whose propagation fails are dropped, never served stale. *)
+(** [apply_update t ~sname ~seq s' ~rel tup ~add] delta-maintains every
+    plan cached under [sname] and re-binds it to [s'] (the store's new
+    value). [seq] is the sequence number {!Store.update} assigned to
+    this mutation; entries apply deltas strictly in sequence order —
+    anything reordered, already applied, or gapped is skipped or
+    dropped, and entries whose propagation fails are dropped. Stale
+    answers are never served. *)
 val apply_update :
   ?budget:Fmtk_runtime.Budget.t ->
   t ->
   sname:string ->
+  seq:int ->
   Structure.t ->
   rel:string ->
   int array ->

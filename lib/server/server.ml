@@ -277,10 +277,17 @@ let run_request t (job : job) =
           if ra then begin
             (* The planned engine polls the request budget per row, so it
                needs no up-front cost gate; answers are maintained across
-               [update] ops by delta propagation. *)
+               [update] ops by delta propagation. Re-read the structure
+               paired with its mutation sequence so a rebuilt cache entry
+               knows exactly which store state it materializes. *)
+            let s, seq =
+              match Store.get_seq t.store structure with
+              | Some p -> p
+              | None -> (s, 0)
+            in
             match
               Pcache.with_result ~budget:job.budget t.pcache
-                ~sname:structure s formula phi (fun vars rel ->
+                ~sname:structure ~seq s formula phi (fun vars rel ->
                   answer_fields vars (Fmtk_db.Relation.tuples rel))
             with
             | Error e -> raise (Reject ("plan-error", e))
@@ -309,13 +316,13 @@ let run_request t (job : job) =
       | Error (`Unknown m) -> raise (Reject ("unknown-structure", m))
       | Error (`Invalid m) -> raise (Reject ("bad-update", m))
       | Error (`Io m) -> raise (Reject ("io-error", m))
-      | Ok (s', changed) ->
+      | Ok (s', changed, seq) ->
           if changed then begin
             (* Maintained plans advance by delta propagation; compiled
                evaluators are identity-bound and would re-compile on the
                next probe anyway — drop them eagerly. *)
             Pcache.apply_update ~budget:job.budget t.pcache ~sname:structure
-              s' ~rel tup ~add;
+              ~seq s' ~rel tup ~add;
             Qcache.invalidate t.cache ~sname:structure
           end;
           ( `Ok,

@@ -63,6 +63,12 @@ type dur = {
 type t = {
   mutex : Mutex.t;
   table : (string, Structure.t) Hashtbl.t;
+  seqs : (string, int) Hashtbl.t;
+      (* per-name mutation sequence, bumped under the mutex on every
+         binding change; never removed (even on [remove]) so a name's
+         sequence is strictly increasing across its whole lifetime and
+         cache entries keyed to an old incarnation can never collide
+         with a new one *)
   capacity : int;
   max_size : int;
   dur : dur option;
@@ -72,6 +78,7 @@ let create ?(capacity = 256) ?(max_size = 100_000) () =
   {
     mutex = Mutex.create ();
     table = Hashtbl.create 64;
+    seqs = Hashtbl.create 64;
     capacity = max 1 capacity;
     max_size = max 1 max_size;
     dur = None;
@@ -80,6 +87,15 @@ let create ?(capacity = 256) ?(max_size = 100_000) () =
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Call with the mutex held. *)
+let seq_of_locked t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.seqs name)
+
+let bump_seq_locked t name =
+  let seq = seq_of_locked t name + 1 in
+  Hashtbl.replace t.seqs name seq;
+  seq
 
 (* ---- recovery ---- *)
 
@@ -193,6 +209,7 @@ let open_durable ?(capacity = 256) ?(max_size = 100_000) ?(sync = Always)
        ( {
            mutex = Mutex.create ();
            table;
+           seqs = Hashtbl.create 64;
            capacity = max 1 capacity;
            max_size = max 1 max_size;
            dur = Some dur;
@@ -299,6 +316,7 @@ let put t ~name s =
                 | Error e -> Error (Io e))
           in
           Hashtbl.replace t.table name s;
+          ignore (bump_seq_locked t name : int);
           Option.iter (maybe_compact t) t.dur;
           Ok ())
   end
@@ -306,8 +324,10 @@ let put t ~name s =
 (* Single-tuple mutation: read-modify-write under the store mutex, so
    concurrent updates to the same name serialize. The new structure value
    is journaled like a [put] (full image — incremental journal records
-   are future work), and returned so callers can re-bind caches keyed by
-   structure identity. *)
+   are future work), and returned together with the name's new sequence
+   number so callers can re-bind caches keyed by structure identity and
+   apply deltas in commit order even though they run outside this
+   critical section. *)
 let update t ~name ~rel tup ~add =
   locked t (fun () ->
       match Hashtbl.find_opt t.table name with
@@ -341,7 +361,7 @@ let update t ~name ~rel tup ~add =
                   if add then not (Tuple.Set.mem tup cur)
                   else Tuple.Set.mem tup cur
                 in
-                if not changed then Ok (s, false)
+                if not changed then Ok (s, false, seq_of_locked t name)
                 else begin
                   let tuples =
                     if add then Tuple.Set.add tup cur
@@ -362,8 +382,9 @@ let update t ~name ~rel tup ~add =
                         | Error e -> Error (`Io e))
                   in
                   Hashtbl.replace t.table name s';
+                  let seq = bump_seq_locked t name in
                   Option.iter (maybe_compact t) t.dur;
-                  Ok (s', true)
+                  Ok (s', true, seq)
                 end))
 
 let remove t name =
@@ -382,6 +403,12 @@ let remove t name =
 (* ---- reads ---- *)
 
 let get t name = locked t (fun () -> Hashtbl.find_opt t.table name)
+
+let get_seq t name =
+  locked t (fun () ->
+      Option.map
+        (fun s -> (s, seq_of_locked t name))
+        (Hashtbl.find_opt t.table name))
 
 let names t =
   locked t (fun () ->

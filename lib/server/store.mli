@@ -103,18 +103,22 @@ val put : t -> name:string -> Structure.t -> (unit, put_error) result
     tuple of relation [rel] of the structure bound to [name]. The
     read-modify-write is atomic (serialized under the store mutex) and
     the resulting structure is journaled like a {!put}. Returns the new
-    binding plus [true] when the store changed — inserting a present
-    tuple or deleting an absent one is an acknowledged no-op ([false]),
-    so the caller can skip cache maintenance. Validation is total:
-    unknown names, undeclared relations, arity mismatches and
-    out-of-domain coordinates are [Error]s, never exceptions. *)
+    binding, [true] when the store changed — inserting a present tuple
+    or deleting an absent one is an acknowledged no-op ([false]), so the
+    caller can skip cache maintenance — and the name's mutation sequence
+    number. The sequence is assigned under the store mutex, so its order
+    {e is} commit order: callers maintaining derived state outside this
+    critical section (e.g. {!Pcache.apply_update}) use it to detect
+    reordered or missed deltas. Validation is total: unknown names,
+    undeclared relations, arity mismatches and out-of-domain coordinates
+    are [Error]s, never exceptions. *)
 val update :
   t ->
   name:string ->
   rel:string ->
   int array ->
   add:bool ->
-  ( Structure.t * bool,
+  ( Structure.t * bool * int,
     [ `Unknown of string | `Invalid of string | `Io of string ] )
   result
 
@@ -124,6 +128,13 @@ val update :
 val remove : t -> string -> (bool, string) result
 
 val get : t -> string -> Structure.t option
+
+(** [get_seq t name] reads the binding together with the name's current
+    mutation sequence number in one critical section. Every binding
+    change ({!put}, a changed {!update}) bumps the sequence, and it is
+    never reset — not even when the name is {!remove}d and re-bound — so
+    a [(value, seq)] pair uniquely identifies a store state of [name]. *)
+val get_seq : t -> string -> (Structure.t * int) option
 
 (** [(name, size)] pairs, sorted by name. *)
 val names : t -> (string * int) list

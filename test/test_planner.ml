@@ -395,6 +395,59 @@ let test_safe_range_gate () =
       checkb "padded variant answers" true (Tuple.Set.equal ts direct)
   | Error (`Msg m) -> Alcotest.fail m
 
+(* An index probe replaces a scan leaf's execution with bare membership
+   of the pattern tuple, so any scan constraint the pattern cannot
+   express must force the SemiJoin fallback. These shapes are
+   unreachable from [Compile] output (repeated variables are projected
+   to one column and constants become literal join leaves) but
+   [Planner.plan] is public over arbitrary algebra terms: a constant
+   selection or an attribute equality landing on positions the probe
+   already determines used to be dropped silently, turning the probe
+   into a superset of the fused predicate. *)
+let test_probe_residual_constraints () =
+  let sg2 = Signature.make [ ("R", 2); ("S", 2) ] in
+  let s =
+    Structure.make sg2 ~size:4
+      [
+        ( "R",
+          [ [| 0; 1 |]; [| 1; 1 |]; [| 2; 2 |]; [| 3; 0 |]; [| 1; 0 |]; [| 2; 1 |] ]
+        );
+        ("S", [ [| 0; 1 |]; [| 1; 1 |] ]);
+      ]
+  in
+  let db = Algebra.Database.of_structure s in
+  let leaf rel = Algebra.Rename ([ ("#1", "x"); ("#2", "y") ], Base rel) in
+  List.iter
+    (fun (label, e) ->
+      let e = Algebra.Project ([ "x"; "y" ], e) in
+      let naive =
+        match Algebra.eval db e with
+        | Ok r -> Relation.tuples r
+        | Error m -> Alcotest.failf "%s: eval: %s" label m
+      in
+      let planned =
+        match Planner.plan db e with
+        | Error m -> Alcotest.failf "%s: plan: %s" label m
+        | Ok p -> (
+            match Physical.run db p with
+            | Ok r -> Relation.tuples r
+            | Error m -> Alcotest.failf "%s: run: %s" label m)
+      in
+      checkb label true (Tuple.Set.equal naive planned))
+    [
+      (* constant on a position the probe pattern already determines *)
+      ( "probe keeps const selection",
+        Algebra.Join (leaf "S", Select (Eq_const ("x", 0), leaf "R")) );
+      (* equality between two already-determined positions *)
+      ( "probe keeps attr equality",
+        Algebra.Join (leaf "S", Select (Eq_attr ("x", "y"), leaf "R")) );
+      (* same residuals on the anti side *)
+      ( "anti probe keeps const selection",
+        Algebra.Diff (leaf "S", Select (Eq_const ("x", 0), leaf "R")) );
+      ( "anti probe keeps attr equality",
+        Algebra.Diff (leaf "S", Select (Eq_attr ("x", "y"), leaf "R")) );
+    ]
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -417,6 +470,8 @@ let () =
           Alcotest.test_case "acyclic semijoin reduction" `Quick
             test_acyclic_semijoin_plan;
           Alcotest.test_case "tricky shapes" `Quick test_tricky_shapes;
+          Alcotest.test_case "probe residual constraints" `Quick
+            test_probe_residual_constraints;
           Alcotest.test_case "safe-range gate" `Quick test_safe_range_gate;
         ] );
     ]

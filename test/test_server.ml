@@ -226,27 +226,32 @@ let test_store_update () =
   let st = Store.create () in
   checkb "seed" true (Store.put st ~name:"g" (Gen.cycle 4) = Ok ());
   let edge s u v = Structure.mem s "E" [| u; v |] in
-  (* Insert is visible through the store and returns the new binding. *)
+  (* Insert is visible through the store and returns the new binding
+     plus the name's bumped mutation sequence (the seed put was seq 1). *)
   (match Store.update st ~name:"g" ~rel:"E" [| 0; 2 |] ~add:true with
-  | Ok (s', true) ->
+  | Ok (s', true, seq) ->
       checkb "insert visible in returned value" true (edge s' 0 2);
       checkb "insert visible via get" true
         (match Store.get st "g" with Some s -> edge s 0 2 | None -> false);
-      checkb "returned value is the binding" true (Store.get st "g" = Some s')
+      checkb "returned value is the binding" true (Store.get st "g" = Some s');
+      checki "insert bumps seq past the put" 2 seq;
+      checkb "get_seq agrees" true (Store.get_seq st "g" = Some (s', seq))
   | _ -> Alcotest.fail "insert refused");
-  (* Idempotent insert / absent delete: acknowledged no-ops, binding
-     untouched. *)
+  (* Idempotent insert / absent delete: acknowledged no-ops, binding and
+     sequence untouched. *)
   let before = Store.get st "g" in
   (match Store.update st ~name:"g" ~rel:"E" [| 0; 2 |] ~add:true with
-  | Ok (_, false) -> ()
+  | Ok (_, false, seq) -> checki "no-op keeps seq" 2 seq
   | _ -> Alcotest.fail "re-insert should be a no-op");
   (match Store.update st ~name:"g" ~rel:"E" [| 2; 0 |] ~add:false with
-  | Ok (_, false) -> ()
+  | Ok (_, false, seq) -> checki "no-op keeps seq" 2 seq
   | _ -> Alcotest.fail "absent delete should be a no-op");
   checkb "no-ops keep identity" true (Store.get st "g" = before);
-  (* Delete removes. *)
+  (* Delete removes and keeps the sequence climbing. *)
   (match Store.update st ~name:"g" ~rel:"E" [| 0; 2 |] ~add:false with
-  | Ok (s', true) -> checkb "delete took" true (not (edge s' 0 2))
+  | Ok (s', true, seq) ->
+      checkb "delete took" true (not (edge s' 0 2));
+      checki "delete bumps seq" 3 seq
   | _ -> Alcotest.fail "delete refused");
   (* Total validation: every bad input is a typed error. *)
   let invalid = function Error (`Invalid _) -> true | _ -> false in
@@ -688,6 +693,69 @@ let test_qcache () =
   Qcache.with_compiled qc ~sname:"c" c7 text phi (fun _ -> seen := Structure.size c7);
   checki "rebind recompiles against the new structure" 7 !seen;
   checkb "rebind was a miss" true (Qcache.misses qc >= 2)
+
+(* The maintained-plan cache applies store deltas strictly in the
+   store's commit order (the sequence number [Store.update] assigns
+   under its mutex). Propagation itself runs outside that critical
+   section, so this drives the cache by hand with reordered, duplicate,
+   and gapped sequences: in-order deltas maintain the materialization,
+   anything else must either be a no-op (already reflected) or evict the
+   entry — a hit must never serve counts that diverge from the live
+   structure. *)
+let test_pcache_ordering () =
+  let module Pcache = Fmtk_server.Pcache in
+  let st = Store.create () in
+  let pc = Pcache.create ~capacity:8 () in
+  checkb "seed" true (Store.put st ~name:"g" (Gen.cycle 4) = Ok ());
+  let text = "E(x,y)" in
+  let phi =
+    let sg = Structure.signature (Gen.cycle 4) in
+    match Qcache.formula (Qcache.create ()) sg text with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  let count () =
+    let s, seq =
+      match Store.get_seq st "g" with
+      | Some p -> p
+      | None -> Alcotest.fail "binding vanished"
+    in
+    match
+      Pcache.with_result pc ~sname:"g" ~seq s text phi (fun _ rel ->
+          Fmtk_db.Relation.cardinality rel)
+    with
+    | Ok n -> n
+    | Error e -> Alcotest.fail e
+  in
+  let update tup add =
+    match Store.update st ~name:"g" ~rel:"E" tup ~add with
+    | Ok (s', true, seq) -> (s', seq)
+    | _ -> Alcotest.fail "update refused"
+  in
+  (* Build the materialization, then maintain it through one in-order
+     delta: the second eval must hit and see the inserted edge. *)
+  checki "initial materialization" 4 (count ());
+  let s2, seq2 = update [| 0; 2 |] true in
+  Pcache.apply_update pc ~sname:"g" ~seq:seq2 s2 ~rel:"E" [| 0; 2 |] ~add:true;
+  checki "in-order delta maintained" 5 (count ());
+  checki "maintained one delta" 1 (Pcache.maintained pc);
+  checki "maintained entry hits" 1 (Pcache.hits pc);
+  (* Two further commits whose propagations arrive reversed: the gapped
+     sequence must evict the entry (applying it would skip the middle
+     delta), the late one must find nothing, and the next eval rebuilds
+     from the live structure. *)
+  let _s3, seq3 = update [| 1; 3 |] true in
+  let s4, seq4 = update [| 2; 0 |] true in
+  Pcache.apply_update pc ~sname:"g" ~seq:seq4 s4 ~rel:"E" [| 2; 0 |] ~add:true;
+  Pcache.apply_update pc ~sname:"g" ~seq:seq3 s4 ~rel:"E" [| 1; 3 |] ~add:true;
+  let misses_before = Pcache.misses pc in
+  checki "reordered deltas evict, rebuild is exact" 7 (count ());
+  checki "rebuild was a miss" (misses_before + 1) (Pcache.misses pc);
+  (* A duplicate of an already-reflected delta must be skipped, not
+     double-applied: the maintained count stays exact. *)
+  Pcache.apply_update pc ~sname:"g" ~seq:seq3 s4 ~rel:"E" [| 1; 3 |] ~add:true;
+  checki "stale delta is a no-op" 7 (count ());
+  checki "stale delta not counted as maintained" 1 (Pcache.maintained pc)
 
 (* ---------- end-to-end ---------- *)
 
@@ -1364,6 +1432,8 @@ let () =
             test_store_corrupt_refusal;
         ] );
       ("qcache", [ Alcotest.test_case "tiers" `Quick test_qcache ]);
+      ( "pcache",
+        [ Alcotest.test_case "delta ordering" `Quick test_pcache_ordering ] );
       ( "serve",
         [
           Alcotest.test_case "end-to-end" `Quick test_end_to_end;
